@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation (extension; §7): RPCValet + Shinjuku-style preemption.
+ *
+ * The paper notes a system combining Shinjuku's preemptive scheduling
+ * with RPCValet "would rigorously handle RPCs of a broad runtime
+ * range". This bench quantifies that on the Masstree mix (1.25 us
+ * gets + 60-120 us scans): get p99 and throughput under the 12.5 us
+ * SLO with preemption off and with 10/15/25 us quanta.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "app/masstree_app.hh"
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rpcvalet;
+    auto args = bench::parseArgs(argc, argv);
+    args.rpcs = std::max<std::uint64_t>(8000, args.rpcs / 2);
+
+    bench::printHeader("Ablation: RPCValet + preemption (Shinjuku-style)",
+                       "Masstree mix; SLO = 12.5 us on gets");
+
+    auto factory = [] { return std::make_unique<app::MasstreeApp>(); };
+    app::MasstreeApp probe;
+    node::SystemParams sys;
+    const double capacity = core::estimateCapacityRps(sys, probe);
+
+    // Baseline (no preemption) last: the SLO table normalizes to the
+    // final series.
+    std::vector<stats::Series> all;
+    for (const double quantum_us : {10.0, 15.0, 25.0, 0.0}) {
+        core::ExperimentConfig base;
+        base.system.preemptionQuantum =
+            quantum_us > 0.0 ? sim::microseconds(quantum_us) : 0;
+        const std::string label =
+            quantum_us > 0.0
+                ? sim::strfmt("quantum-%.0fus", quantum_us)
+                : "no-preemption";
+        auto sweep = bench::makeSweep(args, base, factory, label,
+                                      capacity, 0.15, 1.0);
+        const auto result = core::runSweep(sweep);
+        all.push_back(result.series);
+
+        std::uint64_t yields = 0;
+        for (const auto &run : result.runs)
+            yields += run.preemptionYields;
+        std::printf("[info] %-16s total yields across sweep: %llu\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(yields));
+    }
+
+    std::printf("%s\n",
+                stats::formatSeriesTable(
+                    "Masstree get p99 vs throughput", all, true)
+                    .c_str());
+    bench::printSloSummary(
+        "Throughput under 12.5 us SLO (baseline = no-preemption)", all,
+        12500.0);
+    bench::printSloSummary(
+        "Throughput under 75 us SLO (baseline = no-preemption)", all,
+        75000.0);
+    return 0;
+}

@@ -1,0 +1,116 @@
+#include "common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::bench {
+
+BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    const char *fast_env = std::getenv("RPCVALET_BENCH_FAST");
+    if (fast_env != nullptr && std::strcmp(fast_env, "0") != 0)
+        args.fast = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = value("--points="))
+            args.points = static_cast<std::size_t>(std::atoll(v));
+        else if (const char *v = value("--rpcs="))
+            args.rpcs = static_cast<std::uint64_t>(std::atoll(v));
+        else if (const char *v = value("--warmup="))
+            args.warmup = static_cast<std::uint64_t>(std::atoll(v));
+        else if (const char *v = value("--seed="))
+            args.seed = static_cast<std::uint64_t>(std::atoll(v));
+        else if (const char *v = value("--threads="))
+            args.threads = static_cast<unsigned>(std::atoi(v));
+        else if (arg == "--fast")
+            args.fast = true;
+        else
+            sim::fatal("unknown bench argument: " + arg);
+    }
+
+    if (args.fast) {
+        args.points = std::max<std::size_t>(5, args.points / 2);
+        args.rpcs = std::max<std::uint64_t>(10000, args.rpcs / 5);
+        args.warmup = std::max<std::uint64_t>(1000, args.warmup / 5);
+    }
+    return args;
+}
+
+void
+printHeader(const std::string &figure, const std::string &summary)
+{
+    std::printf("==========================================================="
+                "=====\n");
+    std::printf("%s\n", figure.c_str());
+    std::printf("%s\n", summary.c_str());
+    std::printf("==========================================================="
+                "=====\n");
+}
+
+void
+printNormalizedSeries(const stats::Series &series, double capacity_rps,
+                      double sbar_ns)
+{
+    std::printf("\n-- %s (S-bar = %.0f ns) --\n", series.label.c_str(),
+                sbar_ns);
+    std::printf("%8s %14s %12s %12s\n", "load", "tput(Mrps)",
+                "p99(xSbar)", "mean(xSbar)");
+    for (const auto &p : series.points) {
+        std::printf("%8.2f %14.3f %12.2f %12.2f\n",
+                    p.offeredRps / capacity_rps, p.achievedRps / 1e6,
+                    p.p99Ns / sbar_ns, p.meanNs / sbar_ns);
+    }
+}
+
+void
+printSloSummary(const std::string &title,
+                const std::vector<stats::Series> &series, double slo_ns)
+{
+    std::printf("\n%s\n",
+                stats::formatSloTable(title, series, slo_ns,
+                                      series.size() - 1)
+                    .c_str());
+}
+
+void
+claim(const std::string &what, double paper_value, double measured_value,
+      double rel_tol)
+{
+    const bool ok =
+        measured_value >= paper_value * (1.0 - rel_tol) &&
+        measured_value <= paper_value * (1.0 + rel_tol);
+    std::printf("[claim] %-46s paper=%-8.3g measured=%-8.3g %s\n",
+                what.c_str(), paper_value, measured_value,
+                ok ? "OK" : "DIVERGES");
+}
+
+core::SweepConfig
+makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
+          core::AppFactory factory, const std::string &label,
+          double capacity_rps, double lo_util, double hi_util)
+{
+    core::SweepConfig sweep;
+    sweep.base = base;
+    sweep.base.warmupRpcs = args.warmup;
+    sweep.base.measuredRpcs = args.rpcs;
+    sweep.base.system.seed = args.seed;
+    for (double u : core::loadGrid(lo_util, hi_util, args.points))
+        sweep.arrivalRates.push_back(u * capacity_rps);
+    sweep.appFactory = std::move(factory);
+    sweep.label = label;
+    sweep.threads = args.threads;
+    return sweep;
+}
+
+} // namespace rpcvalet::bench

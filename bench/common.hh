@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benches: argument
+ * parsing, fast-mode scaling, normalized printing, and claim checks.
+ *
+ * Every bench accepts:
+ *   --points=N   load points per curve
+ *   --rpcs=N     measured RPCs per point
+ *   --seed=N     experiment seed
+ *   --threads=N  worker threads for sweep points
+ * and honors RPCVALET_BENCH_FAST=1 (quarter-size runs for smoke use).
+ */
+
+#ifndef RPCVALET_BENCH_COMMON_HH
+#define RPCVALET_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sim/logging.hh"
+#include "stats/series.hh"
+#include "stats/slo.hh"
+
+namespace rpcvalet::bench {
+
+/** Common bench knobs. */
+struct BenchArgs
+{
+    std::size_t points = 10;
+    std::uint64_t rpcs = 100000;
+    std::uint64_t warmup = 10000;
+    std::uint64_t seed = 42;
+    unsigned threads = 2;
+    bool fast = false;
+};
+
+/** Parse argv + RPCVALET_BENCH_FAST; unknown flags are fatal. */
+BenchArgs parseArgs(int argc, char **argv);
+
+/** Print the standard figure banner. */
+void printHeader(const std::string &figure, const std::string &summary);
+
+/**
+ * Print a curve normalized the way Fig. 2 / Fig. 9 are plotted:
+ * x = load fraction of capacity, y = p99 in multiples of S-bar.
+ */
+void printNormalizedSeries(const stats::Series &series,
+                           double capacity_rps, double sbar_ns);
+
+/**
+ * Print throughput-under-SLO for a set of series plus the ratio of
+ * each to the LAST series (the paper's baselines are listed last).
+ */
+void printSloSummary(const std::string &title,
+                     const std::vector<stats::Series> &series,
+                     double slo_ns);
+
+/**
+ * Record a paper-vs-measured claim line (also echoed to stdout):
+ * e.g. claim("1x16 vs 16x1 tput", 1.18, measured, 0.25).
+ * A claim "holds" when measured is within rel_tol of expected.
+ */
+void claim(const std::string &what, double paper_value,
+           double measured_value, double rel_tol);
+
+/** Build a sweep over utilization levels of an estimated capacity. */
+core::SweepConfig
+makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
+          core::AppFactory factory, const std::string &label,
+          double capacity_rps, double lo_util, double hi_util);
+
+} // namespace rpcvalet::bench
+
+#endif // RPCVALET_BENCH_COMMON_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 6: the modeled RPC processing-time distributions — the four
+ * synthetic profiles (a), the HERD profile (b, mean ~330 ns), and the
+ * Masstree get profile (c, mean ~1.25 us) plus the 60-120 us scans.
+ * Prints the PDF of each as an ASCII histogram plus its moments.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "app/service_profiles.hh"
+#include "common.hh"
+#include "sim/distributions.hh"
+#include "stats/histogram.hh"
+
+namespace {
+
+using namespace rpcvalet;
+
+void
+plot(const std::string &title, const sim::Distribution &dist, double lo,
+     double hi, std::uint64_t samples, std::uint64_t seed)
+{
+    stats::Histogram h(lo, hi, 100);
+    sim::Rng rng(seed);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::uint64_t i = 0; i < samples; ++i) {
+        const double x = dist.sample(rng);
+        h.add(x);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double n = static_cast<double>(samples);
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    std::printf("\n-- %s --\n", title.c_str());
+    std::printf("configured mean %.0f ns | sampled mean %.0f ns | "
+                "stddev %.0f ns\n",
+                dist.mean(), mean, std::sqrt(std::max(var, 0.0)));
+    std::printf("%s", h.asciiPlot(25, 56).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rpcvalet;
+    const auto args = bench::parseArgs(argc, argv);
+    const std::uint64_t samples = args.rpcs * 5;
+
+    bench::printHeader("Figure 6: RPC processing-time distributions",
+                       "(a) synthetic 300ns + {fixed,uni,exp,GEV}; "
+                       "(b) HERD ~330ns; (c) Masstree ~1.25us + scans");
+
+    for (const auto kind : sim::allSyntheticKinds()) {
+        const auto d = sim::makeSynthetic(kind);
+        plot("(a) synthetic " + sim::syntheticKindName(kind), *d, 0.0,
+             1200.0, samples, args.seed);
+    }
+
+    const auto herd = app::makeHerdProfile();
+    plot("(b) HERD", *herd, 0.0, 1100.0, samples, args.seed);
+    bench::claim("HERD mean processing (ns)", 330.0, herd->mean(), 0.05);
+
+    const auto gets = app::makeMasstreeGetProfile();
+    plot("(c) Masstree gets", *gets, 0.0, 4200.0, samples, args.seed);
+    bench::claim("Masstree get mean (ns)", 1250.0, gets->mean(), 0.05);
+
+    const auto scans = app::makeMasstreeScanProfile();
+    plot("(c') Masstree scans", *scans, 55000.0, 125000.0, samples,
+         args.seed);
+    bench::claim("Masstree scan mean (us)", 90.0, scans->mean() / 1e3,
+                 0.05);
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Engineering microbenchmarks (google-benchmark): throughput of the
+ * DES kernel, RNG samplers, data-structure substrates, and a full
+ * end-to-end simulation — the numbers that determine how long the
+ * figure benches take, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "app/hash_table.hh"
+#include "app/herd_app.hh"
+#include "app/skip_list.hh"
+#include "core/experiment.hh"
+#include "sim/distributions.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace rpcvalet;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 1000; ++i) {
+            s.schedule(sim::nanoseconds(i), [&fired] { ++fired; });
+        }
+        s.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_RngUniform(benchmark::State &state)
+{
+    sim::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+void
+BM_GevSample(benchmark::State &state)
+{
+    sim::GevDist d(363.0, 100.0, 0.65);
+    sim::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(d.sample(rng));
+}
+BENCHMARK(BM_GevSample);
+
+void
+BM_HashTablePutGet(benchmark::State &state)
+{
+    app::HashTable t;
+    sim::Rng rng(1);
+    std::uint64_t k = 0;
+    for (auto _ : state) {
+        t.put(k % 100000, {1, 2, 3});
+        benchmark::DoNotOptimize(t.get((k * 7) % 100000));
+        ++k;
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_HashTablePutGet);
+
+void
+BM_SkipListInsertFind(benchmark::State &state)
+{
+    app::SkipList s;
+    std::uint64_t k = 0;
+    for (auto _ : state) {
+        s.insert(k % 100000, {1, 2});
+        benchmark::DoNotOptimize(s.find((k * 13) % 100000));
+        ++k;
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SkipListInsertFind);
+
+void
+BM_SkipListScan100(benchmark::State &state)
+{
+    app::SkipList s;
+    for (std::uint64_t k = 0; k < 100000; ++k)
+        s.insert(k, {1, 2});
+    std::uint64_t start = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.scan(start % 90000, 100));
+        start += 997;
+    }
+}
+BENCHMARK(BM_SkipListScan100);
+
+void
+BM_EndToEndRpcSimulation(benchmark::State &state)
+{
+    // Simulated-RPC throughput of the full-system model; reported as
+    // items/s so regressions in the simulator core are visible.
+    for (auto _ : state) {
+        app::HerdApp app;
+        core::ExperimentConfig cfg;
+        cfg.arrivalRps = 10e6;
+        cfg.warmupRpcs = 100;
+        cfg.measuredRpcs = 5000;
+        const auto r = core::runExperiment(cfg, app);
+        benchmark::DoNotOptimize(r.point.p99Ns);
+    }
+    state.SetItemsProcessed(state.iterations() * 5100);
+}
+BENCHMARK(BM_EndToEndRpcSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+#include "app/herd_app.hh"
+
+#include "app/service_profiles.hh"
+#include "app/wire_format.hh"
+#include "sim/logging.hh"
+
+namespace rpcvalet::app {
+
+HerdApp::HerdApp(const Params &params)
+    : params_(params), table_(params.numKeys * 2),
+      processing_(makeHerdProfile())
+{
+    RV_ASSERT(params_.numKeys > 0, "HERD needs at least one key");
+    RV_ASSERT(params_.readFraction >= 0.0 && params_.readFraction <= 1.0,
+              "read fraction must be a probability");
+    for (std::uint64_t k = 0; k < params_.numKeys; ++k)
+        table_.put(k, valueForKey(k));
+}
+
+std::vector<std::uint8_t>
+HerdApp::valueForKey(std::uint64_t key) const
+{
+    // Deterministic pattern so both client and server can recompute
+    // it: byte i of key k's value is (k * 131 + i) & 0xff.
+    std::vector<std::uint8_t> value(params_.valueBytes);
+    for (std::uint32_t i = 0; i < params_.valueBytes; ++i) {
+        value[i] =
+            static_cast<std::uint8_t>((key * 131 + i) & 0xff);
+    }
+    return value;
+}
+
+std::vector<std::uint8_t>
+HerdApp::makeRequest(sim::Rng &client_rng)
+{
+    RpcRequest req;
+    req.key = client_rng.uniformInt(0, params_.numKeys - 1);
+    if (client_rng.uniform() < params_.readFraction) {
+        req.op = RpcOp::Get;
+    } else {
+        req.op = RpcOp::Put;
+        // PUTs rewrite the canonical value, so GET verification stays
+        // valid regardless of interleaving.
+        req.value = valueForKey(req.key);
+    }
+    return encodeRequest(req);
+}
+
+HandleResult
+HerdApp::handle(const std::vector<std::uint8_t> &request,
+                sim::Rng &server_rng)
+{
+    HandleResult result;
+    result.processingNs = processing_->sample(server_rng);
+
+    const auto req = decodeRequest(request);
+    RpcReply reply;
+    if (!req) {
+        reply.status = RpcStatus::Error;
+    } else {
+        switch (req->op) {
+          case RpcOp::Get: {
+            auto value = table_.get(req->key);
+            if (value) {
+                reply.status = RpcStatus::Ok;
+                reply.value = std::move(*value);
+            } else {
+                reply.status = RpcStatus::NotFound;
+            }
+            break;
+          }
+          case RpcOp::Put:
+            table_.put(req->key, req->value);
+            reply.status = RpcStatus::Ok;
+            break;
+          case RpcOp::Del:
+            reply.status = table_.erase(req->key) ? RpcStatus::Ok
+                                                  : RpcStatus::NotFound;
+            break;
+          default:
+            reply.status = RpcStatus::Error;
+            break;
+        }
+    }
+    result.reply = encodeReply(reply);
+    return result;
+}
+
+bool
+HerdApp::verifyReply(const std::vector<std::uint8_t> &request,
+                     const std::vector<std::uint8_t> &reply) const
+{
+    const auto req = decodeRequest(request);
+    const auto rep = decodeReply(reply);
+    if (!req || !rep)
+        return false;
+    switch (req->op) {
+      case RpcOp::Get:
+        // All GET keys are preloaded and PUTs write canonical values,
+        // so a GET must return exactly valueForKey(key).
+        return rep->status == RpcStatus::Ok &&
+               rep->value == valueForKey(req->key);
+      case RpcOp::Put:
+        return rep->status == RpcStatus::Ok;
+      default:
+        return rep->status != RpcStatus::Error;
+    }
+}
+
+double
+HerdApp::meanProcessingNs() const
+{
+    return processing_->mean();
+}
+
+std::string
+HerdApp::name() const
+{
+    return "herd";
+}
+
+} // namespace rpcvalet::app

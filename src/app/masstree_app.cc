@@ -1,0 +1,147 @@
+#include "app/masstree_app.hh"
+
+#include "app/service_profiles.hh"
+#include "app/wire_format.hh"
+#include "sim/logging.hh"
+
+namespace rpcvalet::app {
+
+MasstreeApp::MasstreeApp(const Params &params)
+    : params_(params), getProcessing_(makeMasstreeGetProfile()),
+      scanProcessing_(makeMasstreeScanProfile())
+{
+    RV_ASSERT(params_.numKeys > 0, "Masstree needs at least one key");
+    RV_ASSERT(params_.keyStride > 0, "key stride must be positive");
+    RV_ASSERT(params_.scanCount > 0, "scan count must be positive");
+    for (std::uint64_t k = 0; k < params_.numKeys; ++k) {
+        const std::uint64_t key = k * params_.keyStride;
+        store_.insert(key, valueForKey(key));
+    }
+}
+
+std::vector<std::uint8_t>
+MasstreeApp::valueForKey(std::uint64_t key) const
+{
+    std::vector<std::uint8_t> value(params_.valueBytes);
+    for (std::uint32_t i = 0; i < params_.valueBytes; ++i)
+        value[i] = static_cast<std::uint8_t>((key * 197 + i) & 0xff);
+    return value;
+}
+
+std::vector<std::uint8_t>
+MasstreeApp::makeRequest(sim::Rng &client_rng)
+{
+    RpcRequest req;
+    const std::uint64_t k =
+        client_rng.uniformInt(0, params_.numKeys - 1);
+    req.key = k * params_.keyStride;
+    if (client_rng.uniform() < params_.getFraction) {
+        req.op = RpcOp::Get;
+    } else {
+        req.op = RpcOp::Scan;
+        req.count = params_.scanCount;
+    }
+    return encodeRequest(req);
+}
+
+HandleResult
+MasstreeApp::handle(const std::vector<std::uint8_t> &request,
+                    sim::Rng &server_rng)
+{
+    HandleResult result;
+    const auto req = decodeRequest(request);
+    RpcReply reply;
+    if (!req) {
+        result.processingNs = getProcessing_->sample(server_rng);
+        reply.status = RpcStatus::Error;
+    } else if (req->op == RpcOp::Scan) {
+        // Real ordered scan over the skip list; the reply packs
+        // (key, value) pairs until the size cap.
+        result.processingNs = scanProcessing_->sample(server_rng);
+        result.latencyCritical = false;
+        const auto entries = store_.scan(req->key, req->count);
+        reply.status = RpcStatus::Ok;
+        for (const auto &[key, value] : entries) {
+            const std::size_t entry_bytes = 8 + value.size();
+            if (reply.value.size() + entry_bytes >
+                params_.maxReplyValueBytes) {
+                break;
+            }
+            for (int i = 0; i < 8; ++i) {
+                reply.value.push_back(static_cast<std::uint8_t>(
+                    (key >> (8 * i)) & 0xff));
+            }
+            reply.value.insert(reply.value.end(), value.begin(),
+                               value.end());
+        }
+    } else if (req->op == RpcOp::Get) {
+        result.processingNs = getProcessing_->sample(server_rng);
+        auto value = store_.find(req->key);
+        if (value) {
+            reply.status = RpcStatus::Ok;
+            reply.value = std::move(*value);
+        } else {
+            reply.status = RpcStatus::NotFound;
+        }
+    } else if (req->op == RpcOp::Put) {
+        result.processingNs = getProcessing_->sample(server_rng);
+        store_.insert(req->key, req->value);
+        reply.status = RpcStatus::Ok;
+    } else {
+        result.processingNs = getProcessing_->sample(server_rng);
+        reply.status = RpcStatus::Error;
+    }
+    result.reply = encodeReply(reply);
+    return result;
+}
+
+bool
+MasstreeApp::verifyReply(const std::vector<std::uint8_t> &request,
+                         const std::vector<std::uint8_t> &reply) const
+{
+    const auto req = decodeRequest(request);
+    const auto rep = decodeReply(reply);
+    if (!req || !rep)
+        return false;
+    if (req->op == RpcOp::Get) {
+        return rep->status == RpcStatus::Ok &&
+               rep->value == valueForKey(req->key);
+    }
+    if (req->op == RpcOp::Scan) {
+        // Scan replies hold consecutive (key, value) pairs starting at
+        // the requested key; spot-check the first entry.
+        if (rep->status != RpcStatus::Ok)
+            return false;
+        if (rep->value.size() < 8 + params_.valueBytes)
+            return false;
+        std::uint64_t first_key = 0;
+        for (int i = 0; i < 8; ++i) {
+            first_key |= static_cast<std::uint64_t>(
+                             rep->value[static_cast<size_t>(i)])
+                         << (8 * i);
+        }
+        return first_key == req->key;
+    }
+    return rep->status != RpcStatus::Error;
+}
+
+double
+MasstreeApp::meanProcessingNs() const
+{
+    return params_.getFraction * getProcessing_->mean() +
+           (1.0 - params_.getFraction) * scanProcessing_->mean();
+}
+
+double
+MasstreeApp::latencyCriticalMeanNs() const
+{
+    return getProcessing_->mean();
+}
+
+std::string
+MasstreeApp::name() const
+{
+    return "masstree";
+}
+
+} // namespace rpcvalet::app

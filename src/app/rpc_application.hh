@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Application interface for the RPC tier under test.
+ *
+ * An RpcApplication plays both sides of the §5 microbenchmark:
+ *  - client side (run by the traffic generator): makeRequest() builds
+ *    the wire bytes of the next RPC, verifyReply() checks the answer;
+ *  - server side (run by a modeled core): handle() executes the
+ *    request against real in-memory state and reports the modeled
+ *    processing time X that occupies the core (step ii of §5's loop).
+ *
+ * Processing time is drawn from the application's calibrated
+ * distribution (Fig. 6) rather than derived from host cycles, so
+ * results are machine-independent and match the paper's methodology of
+ * replaying measured distributions.
+ */
+
+#ifndef RPCVALET_APP_RPC_APPLICATION_HH
+#define RPCVALET_APP_RPC_APPLICATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace rpcvalet::app {
+
+/** Result of serving one RPC. */
+struct HandleResult
+{
+    /** Core-occupying processing time in ns (the X of §5 step ii). */
+    double processingNs = 0.0;
+    /** Reply bytes to send back (step iii's payload). */
+    std::vector<std::uint8_t> reply;
+    /**
+     * Whether this RPC counts toward tail-latency SLO accounting.
+     * Masstree's long scans are served but not latency-critical (§6.1).
+     */
+    bool latencyCritical = true;
+};
+
+/** Interface every workload implements. */
+class RpcApplication
+{
+  public:
+    virtual ~RpcApplication() = default;
+
+    /** Client side: produce the next request's wire bytes. */
+    virtual std::vector<std::uint8_t> makeRequest(sim::Rng &client_rng) = 0;
+
+    /** Server side: execute a request, produce timing + reply. */
+    virtual HandleResult handle(const std::vector<std::uint8_t> &request,
+                                sim::Rng &server_rng) = 0;
+
+    /** Client side: check a reply against its request. */
+    virtual bool
+    verifyReply(const std::vector<std::uint8_t> &request,
+                const std::vector<std::uint8_t> &reply) const = 0;
+
+    /** Mean processing time across all request types, ns. */
+    virtual double meanProcessingNs() const = 0;
+
+    /** Mean processing time of latency-critical requests only, ns. */
+    virtual double
+    latencyCriticalMeanNs() const
+    {
+        return meanProcessingNs();
+    }
+
+    /** Workload name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace rpcvalet::app
+
+#endif // RPCVALET_APP_RPC_APPLICATION_HH

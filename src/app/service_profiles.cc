@@ -1,0 +1,29 @@
+#include "app/service_profiles.hh"
+
+namespace rpcvalet::app {
+
+sim::DistributionPtr
+makeHerdProfile()
+{
+    auto body = std::make_unique<sim::LogNormalDist>(
+        sim::LogNormalDist::fromMeanSigma(330.0, 0.45));
+    return std::make_unique<sim::ClampedDist>(80.0, 1000.0,
+                                              std::move(body));
+}
+
+sim::DistributionPtr
+makeMasstreeGetProfile()
+{
+    auto body = std::make_unique<sim::LogNormalDist>(
+        sim::LogNormalDist::fromMeanSigma(1250.0, 0.55));
+    return std::make_unique<sim::ClampedDist>(200.0, 8000.0,
+                                              std::move(body));
+}
+
+sim::DistributionPtr
+makeMasstreeScanProfile()
+{
+    return std::make_unique<sim::UniformDist>(60000.0, 120000.0);
+}
+
+} // namespace rpcvalet::app

@@ -1,0 +1,138 @@
+#include "app/skip_list.hh"
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::app {
+
+SkipList::SkipList(std::uint64_t seed)
+    : head_(new Node{0, {}, std::vector<Node *>(maxLevel, nullptr)}),
+      rng_(seed, /*stream=*/0x5C1B)
+{
+}
+
+SkipList::~SkipList()
+{
+    Node *n = head_;
+    while (n != nullptr) {
+        Node *next = n->forward[0];
+        delete n;
+        n = next;
+    }
+}
+
+int
+SkipList::randomLevel()
+{
+    int lvl = 1;
+    while (lvl < maxLevel && (rng_.next() & 1))
+        ++lvl;
+    return lvl;
+}
+
+bool
+SkipList::insert(std::uint64_t key, std::vector<std::uint8_t> value)
+{
+    std::vector<Node *> update(maxLevel, head_);
+    Node *x = head_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        while (x->forward[static_cast<size_t>(i)] != nullptr &&
+               x->forward[static_cast<size_t>(i)]->key < key) {
+            x = x->forward[static_cast<size_t>(i)];
+        }
+        update[static_cast<size_t>(i)] = x;
+    }
+    x = x->forward[0];
+    if (x != nullptr && x->key == key) {
+        x->value = std::move(value);
+        return false;
+    }
+
+    const int lvl = randomLevel();
+    if (lvl > level_)
+        level_ = lvl;
+    Node *fresh = new Node{key, std::move(value),
+                           std::vector<Node *>(static_cast<size_t>(lvl),
+                                               nullptr)};
+    for (int i = 0; i < lvl; ++i) {
+        auto ui = static_cast<size_t>(i);
+        fresh->forward[ui] = update[ui]->forward[ui];
+        update[ui]->forward[ui] = fresh;
+    }
+    ++size_;
+    return true;
+}
+
+std::optional<std::vector<std::uint8_t>>
+SkipList::find(std::uint64_t key) const
+{
+    const Node *x = head_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        while (x->forward[static_cast<size_t>(i)] != nullptr &&
+               x->forward[static_cast<size_t>(i)]->key < key) {
+            x = x->forward[static_cast<size_t>(i)];
+        }
+    }
+    const Node *candidate = x->forward[0];
+    if (candidate != nullptr && candidate->key == key)
+        return candidate->value;
+    return std::nullopt;
+}
+
+bool
+SkipList::erase(std::uint64_t key)
+{
+    std::vector<Node *> update(maxLevel, head_);
+    Node *x = head_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        while (x->forward[static_cast<size_t>(i)] != nullptr &&
+               x->forward[static_cast<size_t>(i)]->key < key) {
+            x = x->forward[static_cast<size_t>(i)];
+        }
+        update[static_cast<size_t>(i)] = x;
+    }
+    Node *victim = x->forward[0];
+    if (victim == nullptr || victim->key != key)
+        return false;
+    for (int i = 0; i < level_; ++i) {
+        auto ui = static_cast<size_t>(i);
+        if (update[ui]->forward[ui] == victim)
+            update[ui]->forward[ui] = victim->forward[ui];
+    }
+    delete victim;
+    while (level_ > 1 &&
+           head_->forward[static_cast<size_t>(level_ - 1)] == nullptr) {
+        --level_;
+    }
+    --size_;
+    return true;
+}
+
+std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+SkipList::scan(std::uint64_t start, std::size_t count) const
+{
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> out;
+    out.reserve(count);
+    const Node *x = head_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        while (x->forward[static_cast<size_t>(i)] != nullptr &&
+               x->forward[static_cast<size_t>(i)]->key < start) {
+            x = x->forward[static_cast<size_t>(i)];
+        }
+    }
+    const Node *n = x->forward[0];
+    while (n != nullptr && out.size() < count) {
+        out.emplace_back(n->key, n->value);
+        n = n->forward[0];
+    }
+    return out;
+}
+
+std::optional<std::uint64_t>
+SkipList::minKey() const
+{
+    if (head_->forward[0] == nullptr)
+        return std::nullopt;
+    return head_->forward[0]->key;
+}
+
+} // namespace rpcvalet::app

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ordered skip list: the in-memory store behind the Masstree-like
+ * tier. The paper motivates NI occupancy feedback with exactly this
+ * structure (§3.2 discusses Redis's skip-list-backed sorted sets) and
+ * evaluates Masstree's ordered scans (§5); a skip list gives us real
+ * O(log n) point ops plus ordered range scans.
+ */
+
+#ifndef RPCVALET_APP_SKIP_LIST_HH
+#define RPCVALET_APP_SKIP_LIST_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace rpcvalet::app {
+
+/** Ordered u64 -> byte-vector map with range scans. */
+class SkipList
+{
+  public:
+    /** @param seed Seed for the level-coin RNG (deterministic shape). */
+    explicit SkipList(std::uint64_t seed = 0x5EED);
+
+    SkipList(const SkipList &) = delete;
+    SkipList &operator=(const SkipList &) = delete;
+    ~SkipList();
+
+    /** Insert or overwrite; returns true if the key was new. */
+    bool insert(std::uint64_t key, std::vector<std::uint8_t> value);
+
+    /** Point lookup. */
+    std::optional<std::vector<std::uint8_t>> find(std::uint64_t key) const;
+
+    /** Remove; returns true if the key existed. */
+    bool erase(std::uint64_t key);
+
+    /**
+     * Ordered scan: up to @p count consecutive entries with
+     * key >= @p start, ascending (Masstree's ordered scan, §5).
+     */
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+    scan(std::uint64_t start, std::size_t count) const;
+
+    /** Number of stored keys. */
+    std::size_t size() const { return size_; }
+
+    /** Current tower height (diagnostics). */
+    int level() const { return level_; }
+
+    /** Smallest key, if any. */
+    std::optional<std::uint64_t> minKey() const;
+
+  private:
+    static constexpr int maxLevel = 20;
+
+    struct Node
+    {
+        std::uint64_t key;
+        std::vector<std::uint8_t> value;
+        std::vector<Node *> forward;
+    };
+
+    int randomLevel();
+
+    Node *head_;
+    int level_ = 1;
+    std::size_t size_ = 0;
+    mutable sim::Rng rng_;
+};
+
+} // namespace rpcvalet::app
+
+#endif // RPCVALET_APP_SKIP_LIST_HH

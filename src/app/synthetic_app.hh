@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The §5 microbenchmark workload: echo RPCs whose processing time
+ * follows one of the four synthetic distributions, replied to with a
+ * 512 B payload send.
+ */
+
+#ifndef RPCVALET_APP_SYNTHETIC_APP_HH
+#define RPCVALET_APP_SYNTHETIC_APP_HH
+
+#include <memory>
+
+#include "app/rpc_application.hh"
+#include "sim/distributions.hh"
+
+namespace rpcvalet::app {
+
+/** Echo workload with configurable processing-time distribution. */
+class SyntheticApp : public RpcApplication
+{
+  public:
+    /** Total reply message size (§5: 512 B payload send). */
+    static constexpr std::uint32_t replyBytes = 512;
+
+    /** Build with one of the §5 distributions. */
+    explicit SyntheticApp(sim::SyntheticKind kind);
+
+    /** Build with an arbitrary processing-time distribution. */
+    explicit SyntheticApp(sim::DistributionPtr processing,
+                          std::string label);
+
+    /**
+     * Override the request's padding size (default keeps requests to
+     * one cache block). Sizes beyond the messaging domain's
+     * maxMsgBytes exercise the rendezvous path.
+     */
+    void setRequestPaddingBytes(std::uint32_t bytes);
+
+    std::vector<std::uint8_t> makeRequest(sim::Rng &client_rng) override;
+    HandleResult handle(const std::vector<std::uint8_t> &request,
+                        sim::Rng &server_rng) override;
+    bool verifyReply(const std::vector<std::uint8_t> &request,
+                     const std::vector<std::uint8_t> &reply) const override;
+    double meanProcessingNs() const override;
+    std::string name() const override;
+
+  private:
+    sim::DistributionPtr processing_;
+    std::string label_;
+    std::uint64_t nextMarker_ = 1;
+    std::uint32_t requestPadding_ = 24;
+};
+
+} // namespace rpcvalet::app
+
+#endif // RPCVALET_APP_SYNTHETIC_APP_HH

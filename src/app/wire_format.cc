@@ -1,0 +1,106 @@
+#include "app/wire_format.hh"
+
+namespace rpcvalet::app {
+
+namespace {
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    return static_cast<std::uint32_t>(in[at]) |
+           (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+           (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+           (static_cast<std::uint32_t>(in[at + 3]) << 24);
+}
+
+std::uint64_t
+getU64(const std::vector<std::uint8_t> &in, std::size_t at)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(in[at + static_cast<size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeRequest(const RpcRequest &req)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(requestHeaderBytes + req.value.size());
+    out.push_back(static_cast<std::uint8_t>(req.op));
+    putU64(out, req.key);
+    putU32(out, req.count);
+    putU32(out, static_cast<std::uint32_t>(req.value.size()));
+    out.insert(out.end(), req.value.begin(), req.value.end());
+    return out;
+}
+
+std::optional<RpcRequest>
+decodeRequest(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < requestHeaderBytes)
+        return std::nullopt;
+    RpcRequest req;
+    if (bytes[0] > static_cast<std::uint8_t>(RpcOp::Echo))
+        return std::nullopt;
+    req.op = static_cast<RpcOp>(bytes[0]);
+    req.key = getU64(bytes, 1);
+    req.count = getU32(bytes, 9);
+    const std::uint32_t vlen = getU32(bytes, 13);
+    if (bytes.size() < requestHeaderBytes + vlen)
+        return std::nullopt;
+    req.value.assign(bytes.begin() + requestHeaderBytes,
+                     bytes.begin() +
+                         static_cast<long>(requestHeaderBytes + vlen));
+    return req;
+}
+
+std::vector<std::uint8_t>
+encodeReply(const RpcReply &reply)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(replyHeaderBytes + reply.value.size());
+    out.push_back(static_cast<std::uint8_t>(reply.status));
+    putU32(out, static_cast<std::uint32_t>(reply.value.size()));
+    out.insert(out.end(), reply.value.begin(), reply.value.end());
+    return out;
+}
+
+std::optional<RpcReply>
+decodeReply(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < replyHeaderBytes)
+        return std::nullopt;
+    RpcReply reply;
+    if (bytes[0] > static_cast<std::uint8_t>(RpcStatus::Error))
+        return std::nullopt;
+    reply.status = static_cast<RpcStatus>(bytes[0]);
+    const std::uint32_t vlen = getU32(bytes, 1);
+    if (bytes.size() < replyHeaderBytes + vlen)
+        return std::nullopt;
+    reply.value.assign(bytes.begin() + replyHeaderBytes,
+                       bytes.begin() +
+                           static_cast<long>(replyHeaderBytes + vlen));
+    return reply;
+}
+
+} // namespace rpcvalet::app

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * RPC wire format shared by clients (traffic generator) and servers.
+ *
+ * Requests and replies are real byte strings that travel through the
+ * simulated protocol (packetized into 64 B blocks, written into
+ * receive buffers, parsed by the serving core), so application results
+ * are verifiable end to end.
+ *
+ * Request:  [op:u8][key:u64le][count:u32le][vlen:u32le][value...]
+ * Reply:    [status:u8][vlen:u32le][value...]
+ */
+
+#ifndef RPCVALET_APP_WIRE_FORMAT_HH
+#define RPCVALET_APP_WIRE_FORMAT_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rpcvalet::app {
+
+/** RPC operation codes. */
+enum class RpcOp : std::uint8_t
+{
+    Get = 0,
+    Put = 1,
+    Del = 2,
+    Scan = 3,
+    Echo = 4,
+};
+
+/** Reply status codes. */
+enum class RpcStatus : std::uint8_t
+{
+    Ok = 0,
+    NotFound = 1,
+    Error = 2,
+};
+
+/** Decoded request. */
+struct RpcRequest
+{
+    RpcOp op = RpcOp::Get;
+    std::uint64_t key = 0;
+    /** Scan length for Scan requests. */
+    std::uint32_t count = 0;
+    std::vector<std::uint8_t> value;
+};
+
+/** Decoded reply. */
+struct RpcReply
+{
+    RpcStatus status = RpcStatus::Ok;
+    std::vector<std::uint8_t> value;
+};
+
+/** Fixed header sizes. */
+constexpr std::size_t requestHeaderBytes = 1 + 8 + 4 + 4;
+constexpr std::size_t replyHeaderBytes = 1 + 4;
+
+/** Serialize a request. */
+std::vector<std::uint8_t> encodeRequest(const RpcRequest &req);
+
+/** Parse a request; nullopt on malformed input. */
+std::optional<RpcRequest>
+decodeRequest(const std::vector<std::uint8_t> &bytes);
+
+/** Serialize a reply. */
+std::vector<std::uint8_t> encodeReply(const RpcReply &reply);
+
+/** Parse a reply; nullopt on malformed input. */
+std::optional<RpcReply>
+decodeReply(const std::vector<std::uint8_t> &bytes);
+
+} // namespace rpcvalet::app
+
+#endif // RPCVALET_APP_WIRE_FORMAT_HH

@@ -1,0 +1,154 @@
+#include "core/experiment.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "net/traffic_gen.hh"
+#include "node/rpc_node.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace rpcvalet::core {
+
+RunStats
+runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
+{
+    cfg.system.validate();
+    RV_ASSERT(cfg.arrivalRps > 0.0, "arrival rate must be positive");
+    RV_ASSERT(cfg.measuredRpcs > 0, "need at least one measured RPC");
+
+    sim::Simulator sim;
+    net::Fabric fabric(sim, cfg.system.fabricLatency);
+    node::RpcNode node(sim, cfg.system, app, fabric, cfg.warmupRpcs);
+
+    net::TrafficGenerator::Params tp;
+    tp.arrivalRps = cfg.arrivalRps;
+    tp.targetNode = cfg.system.nodeId;
+    tp.clientTurnaround = cfg.clientTurnaround;
+    tp.seed = cfg.system.seed;
+    net::TrafficGenerator tg(sim, tp, cfg.system.domain, app, fabric);
+    fabric.connectDefault(
+        [&tg](proto::Packet pkt) { tg.receivePacket(std::move(pkt)); });
+
+    sim::Tick measure_start = 0;
+    sim::Tick measure_end = 0;
+    const std::uint64_t target = cfg.warmupRpcs + cfg.measuredRpcs;
+    node.setCompletionHook([&](bool, sim::Tick) {
+        const std::uint64_t total = node.served();
+        if (total == cfg.warmupRpcs)
+            measure_start = sim.now();
+        if (total == target) {
+            measure_end = sim.now();
+            tg.halt();
+            sim.stop();
+        }
+    });
+
+    node.start();
+    tg.start();
+    sim.run();
+
+    RunStats out;
+    out.point.offeredRps = cfg.arrivalRps;
+    const auto &rec = node.criticalLatency();
+    out.point.meanNs = rec.meanNs();
+    out.point.p50Ns = rec.percentileNs(50.0);
+    out.point.p90Ns = rec.percentileNs(90.0);
+    out.point.p99Ns = rec.percentileNs(99.0);
+    out.point.samples = rec.count();
+    if (measure_end > measure_start) {
+        out.point.achievedRps =
+            static_cast<double>(cfg.measuredRpcs) /
+            sim::toSeconds(measure_end - measure_start);
+    }
+    out.meanServiceNs = node.meanServiceTimeNs();
+    out.completions = node.served();
+    out.criticalCompletions = node.servedCritical();
+    out.replySlotStalls = node.replySlotStalls();
+    out.flowControlDeferrals = tg.flowControlDeferrals();
+    out.verifyFailures = tg.verificationFailures();
+    out.simulatedUs = sim::toUs(sim.now());
+    out.perCoreServed = node.perCoreServed();
+    out.recvSlotPeak = node.recvSlotPeak();
+    out.rendezvousRequests = tg.rendezvousRequests();
+    out.preemptionYields = node.preemptionYields();
+    const auto component = [](const stats::LatencyRecorder &rec) {
+        return ComponentStats{rec.meanNs(), rec.p99Ns()};
+    };
+    const auto &bd = node.breakdown();
+    out.breakdown.reassembly = component(bd.reassembly);
+    out.breakdown.dispatch = component(bd.dispatch);
+    out.breakdown.queueWait = component(bd.queueWait);
+    out.breakdown.service = component(bd.service);
+    return out;
+}
+
+SweepResult
+runSweep(const SweepConfig &cfg)
+{
+    RV_ASSERT(cfg.appFactory != nullptr, "sweep needs an app factory");
+    RV_ASSERT(!cfg.arrivalRates.empty(), "sweep needs load points");
+
+    SweepResult result;
+    result.series.label = cfg.label;
+    result.runs.resize(cfg.arrivalRates.size());
+
+    // Points are independent simulations; parallelize across a small
+    // worker pool. Each worker builds its own app instance, so results
+    // are identical regardless of thread count.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= cfg.arrivalRates.size())
+                return;
+            ExperimentConfig point_cfg = cfg.base;
+            point_cfg.arrivalRps = cfg.arrivalRates[i];
+            // Decorrelate seeds across points without changing any
+            // single point's behaviour when the grid changes.
+            point_cfg.system.seed =
+                cfg.base.system.seed + 0x1000 * (i + 1);
+            auto app = cfg.appFactory();
+            result.runs[i] = runExperiment(point_cfg, *app);
+        }
+    };
+
+    const unsigned nthreads = std::max(1u, cfg.threads);
+    if (nthreads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (const RunStats &run : result.runs)
+        result.series.points.push_back(run.point);
+    return result;
+}
+
+double
+estimateCapacityRps(const node::SystemParams &system,
+                    const app::RpcApplication &app)
+{
+    const double sbar_ns =
+        app.meanProcessingNs() +
+        sim::toNs(system.coreCosts.totalOverhead());
+    return static_cast<double>(system.numCores) / (sbar_ns * 1e-9);
+}
+
+std::vector<double>
+loadGrid(double lo, double hi, std::size_t n)
+{
+    RV_ASSERT(n >= 2 && hi > lo && lo > 0.0, "bad load grid");
+    std::vector<double> grid(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        grid[i] = lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(n - 1);
+    }
+    return grid;
+}
+
+} // namespace rpcvalet::core

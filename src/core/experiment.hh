@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Public experiment API: one-stop entry points for running the
+ * RPCValet system under a workload and for sweeping offered load into
+ * tail-latency-vs-throughput curves (the data behind every evaluation
+ * figure).
+ *
+ * Typical use (see examples/quickstart.cc):
+ *
+ *   node::SystemParams sys;                    // Table 1 defaults
+ *   sys.mode = ni::DispatchMode::SingleQueue;  // RPCValet
+ *   app::HerdApp app;
+ *   core::ExperimentConfig cfg;
+ *   cfg.system = sys;
+ *   cfg.arrivalRps = 10e6;
+ *   core::RunStats stats = core::runExperiment(cfg, app);
+ */
+
+#ifndef RPCVALET_CORE_EXPERIMENT_HH
+#define RPCVALET_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/rpc_application.hh"
+#include "node/params.hh"
+#include "stats/series.hh"
+
+namespace rpcvalet::core {
+
+/** Configuration of a single fixed-load run. */
+struct ExperimentConfig
+{
+    /** System under test (Table 1 defaults). */
+    node::SystemParams system{};
+    /** Offered aggregate arrival rate, requests per second. */
+    double arrivalRps = 1e6;
+    /** Completions discarded before measurement starts. */
+    std::uint64_t warmupRpcs = 20000;
+    /** Completions measured after warmup. */
+    std::uint64_t measuredRpcs = 200000;
+    /** Client-side turnaround before reply replenishes return. */
+    sim::Tick clientTurnaround = sim::nanoseconds(100.0);
+};
+
+/** Mean/p99 pair for one latency component. */
+struct ComponentStats
+{
+    double meanNs = 0.0;
+    double p99Ns = 0.0;
+};
+
+/** Where an RPC's latency is spent (all RPCs, first packet ->
+ *  replenish). Queueing shows up in `dispatch` (shared-CQ + credit
+ *  wait, or software lock wait) and `queueWait` (private CQ). */
+struct LatencyBreakdown
+{
+    ComponentStats reassembly;
+    ComponentStats dispatch;
+    ComponentStats queueWait;
+    ComponentStats service;
+};
+
+/** Results of one run. */
+struct RunStats
+{
+    /** Offered/achieved throughput and latency percentiles over
+     *  latency-critical RPCs. */
+    stats::LoadPoint point;
+    /** Measured mean core occupancy per RPC (S-bar), ns. */
+    double meanServiceNs = 0.0;
+    /** All completions (including non-critical, e.g. scans). */
+    std::uint64_t completions = 0;
+    /** Latency-critical completions. */
+    std::uint64_t criticalCompletions = 0;
+    /** Reply-slot stalls at the cores (§4.2 flow control). */
+    std::uint64_t replySlotStalls = 0;
+    /** Arrivals deferred by per-source slot flow control. */
+    std::uint64_t flowControlDeferrals = 0;
+    /** Application-level reply verification failures (must be 0). */
+    std::uint64_t verifyFailures = 0;
+    /** Total simulated time, us. */
+    double simulatedUs = 0.0;
+    /** Per-core served counts (load-balance diagnostics). */
+    std::vector<std::uint64_t> perCoreServed;
+    /** Peak busy receive slots. */
+    std::uint32_t recvSlotPeak = 0;
+    /** Requests that used the rendezvous large-message path (§4.2). */
+    std::uint64_t rendezvousRequests = 0;
+    /** Preemption yields taken (Shinjuku-style extension). */
+    std::uint64_t preemptionYields = 0;
+    /** Latency decomposition along the RPC pipeline. */
+    LatencyBreakdown breakdown;
+};
+
+/** Run one fixed-load experiment to completion. */
+RunStats runExperiment(const ExperimentConfig &cfg,
+                       app::RpcApplication &app);
+
+/** Factory for per-run application instances (sweeps, threading). */
+using AppFactory = std::function<std::unique_ptr<app::RpcApplication>()>;
+
+/** Configuration of a load sweep. */
+struct SweepConfig
+{
+    /** Template for each run (arrivalRps is overridden per point). */
+    ExperimentConfig base{};
+    /** Offered rates to sweep, requests per second, ascending. */
+    std::vector<double> arrivalRates;
+    /** Fresh application per run. */
+    AppFactory appFactory;
+    /** Series label (e.g. "1x16"). */
+    std::string label;
+    /** Worker threads for independent points (1 = sequential). */
+    unsigned threads = 1;
+};
+
+/** A sweep's curve plus the full per-point stats. */
+struct SweepResult
+{
+    stats::Series series;
+    std::vector<RunStats> runs;
+};
+
+/** Run a load sweep (deterministic regardless of thread count). */
+SweepResult runSweep(const SweepConfig &cfg);
+
+/**
+ * First-order capacity estimate: numCores / S-bar, with S-bar
+ * approximated as mean processing time + per-RPC loop overhead. Used
+ * by benches to place load grids.
+ */
+double estimateCapacityRps(const node::SystemParams &system,
+                           const app::RpcApplication &app);
+
+/** Convenience: n evenly spaced utilization points in [lo, hi]. */
+std::vector<double> loadGrid(double lo, double hi, std::size_t n);
+
+} // namespace rpcvalet::core
+
+#endif // RPCVALET_CORE_EXPERIMENT_HH

@@ -1,0 +1,45 @@
+#include "net/fabric.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::net {
+
+Fabric::Fabric(sim::Simulator &sim, sim::Tick latency)
+    : sim_(sim), latency_(latency)
+{
+}
+
+void
+Fabric::connect(proto::NodeId node, Sink sink)
+{
+    RV_ASSERT(sink != nullptr, "null fabric sink");
+    sinks_[node] = std::move(sink);
+}
+
+void
+Fabric::connectDefault(Sink sink)
+{
+    RV_ASSERT(sink != nullptr, "null fabric sink");
+    defaultSink_ = std::move(sink);
+}
+
+void
+Fabric::send(proto::Packet pkt)
+{
+    const proto::NodeId dst = pkt.hdr.dst;
+    sim_.schedule(latency_, [this, dst, pkt = std::move(pkt)]() mutable {
+        ++delivered_;
+        auto it = sinks_.find(dst);
+        if (it != sinks_.end()) {
+            it->second(std::move(pkt));
+            return;
+        }
+        RV_ASSERT(defaultSink_ != nullptr,
+                  "packet addressed to unconnected node");
+        defaultSink_(std::move(pkt));
+    });
+}
+
+} // namespace rpcvalet::net

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Inter-node network fabric.
+ *
+ * A fixed-latency, per-packet delivery fabric connecting the modeled
+ * node with the (emulated) rest of the cluster. soNUMA-class fabrics
+ * are low-latency rack-scale interconnects; congestion happens at the
+ * endpoints' NI pipelines, which the NI model covers, so the fabric
+ * itself is contention-free by design (DESIGN.md §6).
+ */
+
+#ifndef RPCVALET_NET_FABRIC_HH
+#define RPCVALET_NET_FABRIC_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "proto/packet.hh"
+#include "sim/simulator.hh"
+
+namespace rpcvalet::net {
+
+/** Point-to-point packet delivery with constant propagation delay. */
+class Fabric
+{
+  public:
+    using Sink = std::function<void(proto::Packet)>;
+
+    /**
+     * @param sim       Owning simulator.
+     * @param latency   One-way propagation delay per packet.
+     */
+    Fabric(sim::Simulator &sim, sim::Tick latency);
+
+    /** Attach the receiver for packets addressed to @p node. */
+    void connect(proto::NodeId node, Sink sink);
+
+    /** Attach the receiver for all nodes without an explicit sink. */
+    void connectDefault(Sink sink);
+
+    /** Inject a packet; it arrives at its destination after latency. */
+    void send(proto::Packet pkt);
+
+    /** Packets delivered so far. */
+    std::uint64_t delivered() const { return delivered_; }
+
+  private:
+    sim::Simulator &sim_;
+    sim::Tick latency_;
+    std::unordered_map<proto::NodeId, Sink> sinks_;
+    Sink defaultSink_;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace rpcvalet::net
+
+#endif // RPCVALET_NET_FABRIC_HH

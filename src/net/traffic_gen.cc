@@ -1,0 +1,216 @@
+#include "net/traffic_gen.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::net {
+
+namespace {
+
+std::uint64_t
+slotKey(proto::NodeId node, std::uint32_t slot)
+{
+    return (static_cast<std::uint64_t>(node) << 32) | slot;
+}
+
+} // namespace
+
+TrafficGenerator::TrafficGenerator(sim::Simulator &sim,
+                                   const Params &params,
+                                   const proto::MessagingDomain &domain,
+                                   app::RpcApplication &app, Fabric &fabric)
+    : sim_(sim), params_(params), domain_(domain), app_(app),
+      fabric_(fabric),
+      arrivals_(sim, params.arrivalRps, params.seed,
+                [this] { onArrival(); }),
+      pickRng_(params.seed, /*stream=*/0x7156),
+      clientRng_(params.seed, /*stream=*/0xC11E),
+      freeSlots_(domain.numNodes), pending_(domain.numNodes)
+{
+    RV_ASSERT(domain_.numNodes >= 2, "need at least one remote node");
+    for (proto::NodeId n = 0; n < domain_.numNodes; ++n) {
+        if (n == params_.targetNode)
+            continue;
+        freeSlots_[n].reserve(domain_.slotsPerNode);
+        // Highest slot last so slot 0 is handed out first.
+        for (std::uint32_t s = domain_.slotsPerNode; s > 0; --s)
+            freeSlots_[n].push_back(s - 1);
+    }
+}
+
+void
+TrafficGenerator::start()
+{
+    arrivals_.start();
+}
+
+void
+TrafficGenerator::halt()
+{
+    arrivals_.halt();
+}
+
+void
+TrafficGenerator::onArrival()
+{
+    // Pick a uniformly random remote source node (§5: "from randomly
+    // selected nodes of the cluster").
+    proto::NodeId src = static_cast<proto::NodeId>(
+        pickRng_.uniformInt(0, domain_.numNodes - 2));
+    if (src >= params_.targetNode)
+        ++src;
+
+    // Requests larger than maxMsgBytes are legal: they take the
+    // rendezvous path (§4.2) in launchRequest.
+    std::vector<std::uint8_t> request = app_.makeRequest(clientRng_);
+
+    if (freeSlots_[src].empty()) {
+        // End-to-end flow control: all S slots toward the target are
+        // in flight; the request waits for a replenish (§4.2).
+        ++deferrals_;
+        pending_[src].push_back(std::move(request));
+        return;
+    }
+    const std::uint32_t slot = freeSlots_[src].back();
+    freeSlots_[src].pop_back();
+    launchRequest(src, slot, std::move(request));
+}
+
+void
+TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t slot,
+                                std::vector<std::uint8_t> request)
+{
+    ++requestsSent_;
+    ++inFlight_;
+    if (request.size() > domain_.maxMsgBytes) {
+        // Rendezvous (§4.2): announce the payload with a one-block
+        // descriptor; the destination NI pulls it with a one-sided
+        // read from this node's registered memory (the outstanding-
+        // request store plays that role here).
+        ++rendezvous_;
+        proto::Packet descriptor;
+        descriptor.hdr.op = proto::OpType::Send;
+        descriptor.hdr.src = src;
+        descriptor.hdr.dst = params_.targetNode;
+        descriptor.hdr.slot = slot;
+        descriptor.hdr.totalBlocks = 1;
+        descriptor.hdr.msgBytes = 0;
+        descriptor.hdr.rendezvous = true;
+        descriptor.hdr.rendezvousBytes =
+            static_cast<std::uint32_t>(request.size());
+        outstandingRequests_[slotKey(src, slot)] = std::move(request);
+        fabric_.send(std::move(descriptor));
+        return;
+    }
+    auto packets = proto::packetize(proto::OpType::Send, src,
+                                    params_.targetNode, slot, request);
+    outstandingRequests_[slotKey(src, slot)] = std::move(request);
+    for (auto &pkt : packets)
+        fabric_.send(std::move(pkt));
+}
+
+void
+TrafficGenerator::receivePacket(proto::Packet pkt)
+{
+    switch (pkt.hdr.op) {
+      case proto::OpType::Send: {
+        // A reply from the node under test. Replies mirror the request
+        // slot (HERD-style per-slot response matching), so (dst, slot)
+        // identifies the original request.
+        const std::uint64_t key = slotKey(pkt.hdr.dst, pkt.hdr.slot);
+        ReplyAssembly &assembly = replies_[key];
+        if (assembly.total == 0) {
+            assembly.total = pkt.hdr.totalBlocks;
+            assembly.bytes.assign(pkt.hdr.msgBytes, 0);
+        }
+        const std::size_t lo =
+            static_cast<std::size_t>(pkt.hdr.blockIndex) *
+            proto::cacheBlockBytes;
+        for (std::size_t i = 0; i < pkt.payload.size(); ++i) {
+            if (lo + i < assembly.bytes.size())
+                assembly.bytes[lo + i] = pkt.payload[i];
+        }
+        if (++assembly.arrived == assembly.total) {
+            std::vector<std::uint8_t> reply = std::move(assembly.bytes);
+            replies_.erase(key);
+            onReplyComplete(pkt.hdr.dst, pkt.hdr.slot, std::move(reply));
+        }
+        break;
+      }
+      case proto::OpType::Replenish:
+        onReplenish(pkt);
+        break;
+      case proto::OpType::RemoteRead: {
+        // Rendezvous pull: serve the announced payload from this
+        // node's memory after a DRAM access.
+        const std::uint64_t key = slotKey(pkt.hdr.dst, pkt.hdr.slot);
+        auto it = outstandingRequests_.find(key);
+        RV_ASSERT(it != outstandingRequests_.end(),
+                  "one-sided read for unknown payload");
+        const proto::NodeId owner = pkt.hdr.dst;
+        const std::uint32_t slot = pkt.hdr.slot;
+        const std::vector<std::uint8_t> payload = it->second;
+        sim_.schedule(sim::nanoseconds(60.0),
+                      [this, owner, slot, payload] {
+                          auto blocks = proto::packetize(
+                              proto::OpType::ReadResponse, owner,
+                              params_.targetNode, slot, payload);
+                          for (auto &b : blocks)
+                              fabric_.send(std::move(b));
+                      });
+        break;
+      }
+      default:
+        sim::panic("traffic generator received unexpected op");
+    }
+}
+
+void
+TrafficGenerator::onReplyComplete(proto::NodeId dst, std::uint32_t slot,
+                                  std::vector<std::uint8_t> reply)
+{
+    const std::uint64_t key = slotKey(dst, slot);
+    auto it = outstandingRequests_.find(key);
+    RV_ASSERT(it != outstandingRequests_.end(),
+              "reply for unknown request");
+    if (!app_.verifyReply(it->second, reply))
+        ++verifyFailures_;
+    outstandingRequests_.erase(it);
+    ++repliesReceived_;
+    RV_ASSERT(inFlight_ > 0, "in-flight underflow");
+    --inFlight_;
+
+    // Return the reply's send-slot credit to the node under test after
+    // the client-side turnaround.
+    sim_.schedule(params_.clientTurnaround, [this, dst, slot] {
+        proto::Packet pkt;
+        pkt.hdr.op = proto::OpType::Replenish;
+        pkt.hdr.src = dst;
+        pkt.hdr.dst = params_.targetNode;
+        pkt.hdr.slot = slot;
+        pkt.hdr.totalBlocks = 1;
+        pkt.hdr.msgBytes = 0;
+        fabric_.send(std::move(pkt));
+    });
+}
+
+void
+TrafficGenerator::onReplenish(const proto::Packet &pkt)
+{
+    // The node under test finished processing a request: the source's
+    // send slot is free again (§4.2 step C).
+    const proto::NodeId src = pkt.hdr.dst;
+    const std::uint32_t slot = pkt.hdr.slot;
+    RV_ASSERT(src < domain_.numNodes, "replenish for unknown node");
+    if (!pending_[src].empty()) {
+        std::vector<std::uint8_t> request =
+            std::move(pending_[src].front());
+        pending_[src].pop_front();
+        launchRequest(src, slot, std::move(request));
+    } else {
+        freeSlots_[src].push_back(slot);
+    }
+}
+
+} // namespace rpcvalet::net

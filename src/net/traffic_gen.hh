@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cluster traffic generator (§5 "System organization").
+ *
+ * The modeled chip is one node of a 200-node cluster; the other 199
+ * nodes are emulated by this generator. It creates synthetic send
+ * requests at a Poisson aggregate rate from uniformly random source
+ * nodes, obeys per-source send-slot flow control (a source with all S
+ * slots in flight defers until a replenish returns), consumes the
+ * modeled node's replies, verifies them against the application, and
+ * returns reply replenishes after a client-side turnaround delay.
+ */
+
+#ifndef RPCVALET_NET_TRAFFIC_GEN_HH
+#define RPCVALET_NET_TRAFFIC_GEN_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "app/rpc_application.hh"
+#include "net/fabric.hh"
+#include "proto/messaging.hh"
+#include "sim/simulator.hh"
+
+namespace rpcvalet::net {
+
+/** Emulates the remote 199 nodes of the messaging domain. */
+class TrafficGenerator
+{
+  public:
+    struct Params
+    {
+        /** Aggregate request arrival rate, requests per second. */
+        double arrivalRps = 1e6;
+        /** The node under test (requests' destination). */
+        proto::NodeId targetNode = 0;
+        /** Client-side turnaround before replenishing a reply slot. */
+        sim::Tick clientTurnaround = sim::nanoseconds(100.0);
+        /** Experiment seed. */
+        std::uint64_t seed = 1;
+    };
+
+    TrafficGenerator(sim::Simulator &sim, const Params &params,
+                     const proto::MessagingDomain &domain,
+                     app::RpcApplication &app, Fabric &fabric);
+
+    /** Begin generating load. */
+    void start();
+
+    /** Stop generating new requests (in-flight ones complete). */
+    void halt();
+
+    /** Fabric sink for packets addressed to any emulated node. */
+    void receivePacket(proto::Packet pkt);
+
+    /** Requests injected into the fabric. */
+    std::uint64_t requestsSent() const { return requestsSent_; }
+
+    /** Replies fully received. */
+    std::uint64_t repliesReceived() const { return repliesReceived_; }
+
+    /** Replies that failed application-level verification. */
+    std::uint64_t verificationFailures() const { return verifyFailures_; }
+
+    /** Arrivals deferred because the source had no free slot. */
+    std::uint64_t flowControlDeferrals() const { return deferrals_; }
+
+    /** Requests that took the rendezvous (large-message) path. */
+    std::uint64_t rendezvousRequests() const { return rendezvous_; }
+
+    /** Requests currently in flight (slot held). */
+    std::uint64_t inFlight() const { return inFlight_; }
+
+  private:
+    void onArrival();
+    void launchRequest(proto::NodeId src, std::uint32_t slot,
+                       std::vector<std::uint8_t> request);
+    void onReplyComplete(proto::NodeId dst, std::uint32_t slot,
+                         std::vector<std::uint8_t> reply);
+    void onReplenish(const proto::Packet &pkt);
+
+    sim::Simulator &sim_;
+    Params params_;
+    proto::MessagingDomain domain_;
+    app::RpcApplication &app_;
+    Fabric &fabric_;
+    sim::PoissonProcess arrivals_;
+    sim::Rng pickRng_;
+    sim::Rng clientRng_;
+
+    /** Free request-slot numbers per source node. */
+    std::vector<std::vector<std::uint32_t>> freeSlots_;
+    /** Requests waiting for a slot, per source node. */
+    std::vector<std::deque<std::vector<std::uint8_t>>> pending_;
+    /** Outstanding request bytes per flat (src, slot) index. */
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        outstandingRequests_;
+
+    /** Reply reassembly: packets received per (dst, slot) key. */
+    struct ReplyAssembly
+    {
+        std::uint32_t arrived = 0;
+        std::uint32_t total = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+    std::unordered_map<std::uint64_t, ReplyAssembly> replies_;
+
+    std::uint64_t requestsSent_ = 0;
+    std::uint64_t repliesReceived_ = 0;
+    std::uint64_t verifyFailures_ = 0;
+    std::uint64_t deferrals_ = 0;
+    std::uint64_t inFlight_ = 0;
+    std::uint64_t rendezvous_ = 0;
+};
+
+} // namespace rpcvalet::net
+
+#endif // RPCVALET_NET_TRAFFIC_GEN_HH

@@ -1,0 +1,132 @@
+#include "ni/backend.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::ni {
+
+NiBackend::NiBackend(sim::Simulator &sim, const Params &params,
+                     const mem::MemoryModel &memory, mem::RecvBuffer &recv,
+                     CompletionHandler on_complete,
+                     ReplenishHandler on_replenish, Injector inject)
+    : sim_(sim), params_(params), memory_(memory), recv_(recv),
+      onComplete_(std::move(on_complete)),
+      onReplenish_(std::move(on_replenish)), inject_(std::move(inject))
+{
+    RV_ASSERT(onComplete_ != nullptr, "backend needs a completion hook");
+    RV_ASSERT(onReplenish_ != nullptr, "backend needs a replenish hook");
+    RV_ASSERT(inject_ != nullptr, "backend needs a fabric injector");
+}
+
+void
+NiBackend::receivePacket(proto::Packet pkt)
+{
+    // Serialize packets through the ingress pipeline.
+    const sim::Tick arrival = sim_.now();
+    const sim::Tick start = std::max(arrival, ingressFreeAt_);
+    ingressFreeAt_ = start + params_.packetOccupancy;
+    ingressBusy_ += params_.packetOccupancy;
+    ++packetsReceived_;
+    sim_.scheduleAt(ingressFreeAt_,
+                    [this, pkt = std::move(pkt), arrival]() mutable {
+                        processIngress(std::move(pkt), arrival);
+                    });
+}
+
+void
+NiBackend::processIngress(proto::Packet pkt, sim::Tick arrival)
+{
+    switch (pkt.hdr.op) {
+      case proto::OpType::Send: {
+        // §4.4: write the payload block, fetch-and-increment the
+        // arrival counter, compare against the header's total size.
+        const bool complete = recv_.packetArrived(pkt, arrival);
+        if (!complete)
+            break;
+        const std::uint32_t index =
+            recv_.domain().slotIndex(pkt.hdr.src, pkt.hdr.slot);
+        if (pkt.hdr.rendezvous) {
+            // §4.2 rendezvous: the descriptor names the payload's
+            // location and size; the NI pulls it with a one-sided
+            // read rather than notifying a core yet.
+            const std::uint32_t full = pkt.hdr.rendezvousBytes;
+            recv_.beginRendezvous(index, full);
+            proto::Packet read;
+            read.hdr.op = proto::OpType::RemoteRead;
+            read.hdr.src = pkt.hdr.dst; // us
+            read.hdr.dst = pkt.hdr.src; // payload owner
+            read.hdr.slot = pkt.hdr.slot;
+            read.hdr.totalBlocks = 1;
+            read.hdr.msgBytes = full;
+            ++rendezvousPulls_;
+            sim_.schedule(memory_.counterUpdateLatency(),
+                          [this, read = std::move(read)]() mutable {
+                              ++packetsSent_;
+                              inject_(std::move(read));
+                          });
+            break;
+        }
+        signalCompletion(index, pkt.hdr.src);
+        break;
+      }
+      case proto::OpType::ReadResponse: {
+        // Rendezvous pull data coming back; completes like a send
+        // once every block has landed.
+        const bool complete = recv_.pullBlockArrived(pkt);
+        if (complete) {
+            const std::uint32_t index =
+                recv_.domain().slotIndex(pkt.hdr.src, pkt.hdr.slot);
+            signalCompletion(index, pkt.hdr.src);
+        }
+        break;
+      }
+      case proto::OpType::Replenish:
+        // §4.2 step C: reset the valid field of the named send slot.
+        onReplenish_(pkt.hdr.src, pkt.hdr.slot);
+        break;
+      case proto::OpType::RemoteRead:
+      case proto::OpType::RemoteWrite:
+        // Plain one-sided ops require no CPU notification (§3.3); the
+        // RPC experiments never issue them to the modeled node.
+        break;
+    }
+}
+
+void
+NiBackend::signalCompletion(std::uint32_t index, proto::NodeId src)
+{
+    const mem::RecvSlot &slot = recv_.slot(index);
+    proto::CompletionQueueEntry cqe;
+    cqe.slotIndex = index;
+    cqe.srcNode = src;
+    cqe.msgBytes = slot.msgBytes;
+    cqe.firstPacketTick = slot.firstPacketTick;
+    cqe.completionTick = sim_.now();
+    ++completions_;
+    // The completion is known one counter update after the last
+    // packet clears the pipeline.
+    sim_.schedule(memory_.counterUpdateLatency(),
+                  [this, cqe] { onComplete_(params_.id, cqe); });
+}
+
+void
+NiBackend::transmitMessage(proto::OpType op, proto::NodeId self,
+                           proto::NodeId dst, std::uint32_t slot,
+                           const std::vector<std::uint8_t> &payload)
+{
+    auto packets = proto::packetize(op, self, dst, slot, payload);
+    // First packet waits for the payload fetch from the memory
+    // hierarchy; subsequent blocks stream at pipeline rate.
+    sim::Tick ready = sim_.now() + params_.txSetupLatency;
+    for (auto &pkt : packets) {
+        const sim::Tick start = std::max(ready, egressFreeAt_);
+        egressFreeAt_ = start + params_.packetOccupancy;
+        ++packetsSent_;
+        sim_.scheduleAt(egressFreeAt_, [this, pkt = std::move(pkt)]() mutable {
+            inject_(std::move(pkt));
+        });
+    }
+}
+
+} // namespace rpcvalet::ni

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * NI dispatch: modes and core-selection policies (§4.3).
+ *
+ * The dispatch *mode* fixes the queuing topology (how many dispatchers
+ * and which cores each can reach): 1x16, 4x4, 16x1, or the software
+ * pull baseline. The dispatch *policy* is the per-decision heuristic a
+ * dispatcher uses to pick among its available cores. The paper's
+ * proof-of-concept is a simple greedy policy; round-robin and
+ * power-of-two-choices are included for the ablation study the paper's
+ * §4.3 invites ("implementations can range from simple hardwired logic
+ * to microcoded state machines").
+ */
+
+#ifndef RPCVALET_NI_DISPATCH_POLICY_HH
+#define RPCVALET_NI_DISPATCH_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/packet.hh"
+#include "sim/rng.hh"
+
+namespace rpcvalet::ni {
+
+/** Queuing topology implemented by the NI (Fig. 1 / §5). */
+enum class DispatchMode
+{
+    /** RPCValet: one NI dispatcher balancing all cores (1x16). */
+    SingleQueue,
+    /** Each NI backend balances its own row of cores (4x4). */
+    PerBackendGroup,
+    /** RSS-style static hash to a core at arrival time (16x1). */
+    StaticHash,
+    /** Software single queue pulled under an MCS lock (§6.2). */
+    SoftwarePull,
+};
+
+/** Human-readable mode name ("1x16", "4x4", "16x1", "sw-1x16"). */
+std::string dispatchModeName(DispatchMode mode);
+
+/** Core-selection heuristic used by hardware dispatchers. */
+enum class PolicyKind
+{
+    /** Pick the available core with the fewest outstanding RPCs. */
+    GreedyLeastLoaded,
+    /** Rotate over available cores. */
+    RoundRobin,
+    /** Sample two candidates, keep the less loaded (d-choices). */
+    PowerOfTwoChoices,
+};
+
+/** Human-readable policy name. */
+std::string policyKindName(PolicyKind kind);
+
+/**
+ * Strategy interface: choose one of @p candidates whose outstanding
+ * count is below @p threshold, or nullopt when none qualifies.
+ */
+class DispatchPolicy
+{
+  public:
+    virtual ~DispatchPolicy() = default;
+
+    /**
+     * @param outstanding Per-core outstanding-RPC counts (indexed by
+     *                    global core id).
+     * @param threshold   Max outstanding per core (§4.3: default 2).
+     * @param candidates  Cores this dispatcher may target.
+     * @param rng         Source of randomness for stochastic policies.
+     */
+    virtual std::optional<proto::CoreId>
+    select(const std::vector<std::uint32_t> &outstanding,
+           std::uint32_t threshold,
+           const std::vector<proto::CoreId> &candidates,
+           sim::Rng &rng) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Factory for the built-in policies. */
+std::unique_ptr<DispatchPolicy> makePolicy(PolicyKind kind);
+
+} // namespace rpcvalet::ni
+
+#endif // RPCVALET_NI_DISPATCH_POLICY_HH

@@ -1,0 +1,74 @@
+#include "ni/dispatcher.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::ni {
+
+Dispatcher::Dispatcher(sim::Simulator &sim, const Params &params,
+                       std::unique_ptr<DispatchPolicy> policy,
+                       std::uint32_t num_cores,
+                       std::vector<proto::CoreId> candidates,
+                       Deliver deliver)
+    : sim_(sim), params_(params), policy_(std::move(policy)),
+      candidates_(std::move(candidates)), deliver_(std::move(deliver)),
+      outstanding_(num_cores, 0), rng_(params.seed, /*stream=*/0xD15A)
+{
+    RV_ASSERT(policy_ != nullptr, "dispatcher needs a policy");
+    RV_ASSERT(!candidates_.empty(), "dispatcher needs candidate cores");
+    RV_ASSERT(params_.outstandingThreshold >= 1,
+              "outstanding threshold must be at least 1");
+    for (const proto::CoreId c : candidates_)
+        RV_ASSERT(c < num_cores, "candidate core out of range");
+    RV_ASSERT(deliver_ != nullptr, "dispatcher needs a delivery hook");
+}
+
+void
+Dispatcher::enqueue(proto::CompletionQueueEntry entry)
+{
+    sharedCq_.push(std::move(entry));
+    tryDispatch();
+}
+
+void
+Dispatcher::onReplenish(proto::CoreId core)
+{
+    RV_ASSERT(core < outstanding_.size(), "replenish core out of range");
+    RV_ASSERT(outstanding_[core] > 0, "replenish without outstanding RPC");
+    --outstanding_[core];
+    tryDispatch();
+}
+
+std::uint32_t
+Dispatcher::outstanding(proto::CoreId core) const
+{
+    RV_ASSERT(core < outstanding_.size(), "core out of range");
+    return outstanding_[core];
+}
+
+void
+Dispatcher::tryDispatch()
+{
+    // Drain the shared CQ to available cores in FIFO order (§4.3).
+    // Each decision serializes on the dispatch pipeline.
+    while (!sharedCq_.empty()) {
+        const auto target = policy_->select(
+            outstanding_, params_.outstandingThreshold, candidates_, rng_);
+        if (!target)
+            return; // all candidate cores saturated; wait for replenish
+        ++outstanding_[*target];
+        ++dispatched_;
+        proto::CompletionQueueEntry entry = sharedCq_.pop();
+
+        const sim::Tick start = std::max(sim_.now(), pipeFreeAt_);
+        pipeFreeAt_ = start + params_.decisionOccupancy;
+        sim_.scheduleAt(pipeFreeAt_,
+                        [this, core = *target,
+                         entry = std::move(entry)]() mutable {
+                            deliver_(core, std::move(entry));
+                        });
+    }
+}
+
+} // namespace rpcvalet::ni

@@ -1,0 +1,565 @@
+#include "node/rpc_node.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::node {
+
+namespace {
+
+/** splitmix64 finalizer (full-avalanche hash for RSS-style steering). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Approximate on-chip message sizes (bytes) for latency modeling. */
+constexpr std::uint32_t cqeBytes = 16;
+constexpr std::uint32_t wqeBytes = 32;
+constexpr std::uint32_t completionPacketBytes = 16;
+
+} // namespace
+
+RpcNode::RpcNode(sim::Simulator &sim, const SystemParams &params,
+                 app::RpcApplication &app, net::Fabric &fabric,
+                 std::uint64_t warmup_samples)
+    : sim_(sim), params_(params), app_(app), fabric_(fabric),
+      mesh_(params.meshRows, params.meshCols, params.hopCycles,
+            params.linkBytes, params.clock()),
+      recv_(params.domain), send_(params.domain),
+      cores_(params.numCores),
+      serverRng_(params.seed, /*stream=*/0xA4B),
+      hashSalt_(mix64(params.seed ^ 0x5555AAAAuLL)),
+      criticalLatency_(warmup_samples), allLatency_(warmup_samples)
+{
+    params_.validate();
+
+    for (std::uint32_t b = 0; b < params_.numBackends; ++b) {
+        ni::NiBackend::Params bp;
+        bp.id = b;
+        bp.packetOccupancy = params_.backendPacketOccupancy;
+        bp.txSetupLatency = params_.txSetupLatency;
+        backends_.push_back(std::make_unique<ni::NiBackend>(
+            sim_, bp, params_.memory, recv_,
+            [this](std::uint32_t bid, proto::CompletionQueueEntry cqe) {
+                onMessageComplete(bid, std::move(cqe));
+            },
+            [this](proto::NodeId dst, std::uint32_t slot) {
+                send_.release(dst, slot);
+            },
+            [this](proto::Packet pkt) { fabric_.send(std::move(pkt)); }));
+    }
+
+    auto make_deliver = [this](std::uint32_t backend_id) {
+        return [this, backend_id](proto::CoreId core,
+                                  proto::CompletionQueueEntry cqe) {
+            const sim::Tick delay =
+                mesh_.backendToCore(backend_id, core, cqeBytes) +
+                params_.memory.qpTransferLatency();
+            sim_.schedule(delay, [this, core, cqe = std::move(cqe)] {
+                deliverCqeToCore(core, cqe);
+            });
+        };
+    };
+
+    switch (params_.mode) {
+      case ni::DispatchMode::SingleQueue: {
+        std::vector<proto::CoreId> all;
+        for (proto::CoreId c = 0; c < params_.numCores; ++c)
+            all.push_back(c);
+        ni::Dispatcher::Params dp;
+        dp.outstandingThreshold = params_.outstandingPerCore;
+        dp.decisionOccupancy = params_.dispatcherDecision;
+        dp.seed = params_.seed;
+        dispatchers_.push_back(std::make_unique<ni::Dispatcher>(
+            sim_, dp, ni::makePolicy(params_.policy), params_.numCores,
+            std::move(all), make_deliver(params_.dispatcherBackend)));
+        break;
+      }
+      case ni::DispatchMode::PerBackendGroup: {
+        const std::uint32_t group = params_.numCores / params_.numBackends;
+        for (std::uint32_t d = 0; d < params_.numBackends; ++d) {
+            std::vector<proto::CoreId> cand;
+            for (std::uint32_t i = 0; i < group; ++i)
+                cand.push_back(d * group + i);
+            ni::Dispatcher::Params dp;
+            dp.outstandingThreshold = params_.outstandingPerCore;
+            dp.decisionOccupancy = params_.dispatcherDecision;
+            dp.seed = params_.seed + d;
+            dispatchers_.push_back(std::make_unique<ni::Dispatcher>(
+                sim_, dp, ni::makePolicy(params_.policy),
+                params_.numCores, std::move(cand), make_deliver(d)));
+        }
+        break;
+      }
+      case ni::DispatchMode::StaticHash:
+        break; // CQEs go straight to the hashed core
+      case ni::DispatchMode::SoftwarePull:
+        swQueue_ = std::make_unique<sync::SoftwareSharedQueue>(
+            sim_, params_.mcs);
+        break;
+    }
+
+    fabric_.connect(params_.nodeId,
+                    [this](proto::Packet pkt) {
+                        receivePacket(std::move(pkt));
+                    });
+}
+
+void
+RpcNode::start()
+{
+    if (params_.mode != ni::DispatchMode::SoftwarePull)
+        return;
+    for (proto::CoreId core = 0; core < params_.numCores; ++core) {
+        swQueue_->requestPull(
+            [this, core](const proto::CompletionQueueEntry &entry) {
+                proto::CompletionQueueEntry granted = entry;
+                granted.deliveredTick = sim_.now();
+                runRpc(core, std::move(granted), /*was_idle=*/false);
+            });
+    }
+}
+
+void
+RpcNode::setCompletionHook(CompletionHook hook)
+{
+    completionHook_ = std::move(hook);
+}
+
+std::uint32_t
+RpcNode::ingressBackendFor(proto::NodeId src, std::uint32_t slot) const
+{
+    // All packets of one message route through the same backend; the
+    // (src, slot) hash keeps messages spread uniformly across the
+    // replicated backends (Fig. 4 parallelism).
+    const std::uint64_t h =
+        mix64(static_cast<std::uint64_t>(src) * 0x100000001b3ULL + slot +
+              hashSalt_);
+    return static_cast<std::uint32_t>(h % params_.numBackends);
+}
+
+std::uint32_t
+RpcNode::egressBackendFor(proto::CoreId core) const
+{
+    // A core transmits through its row's edge backend (nearest).
+    const noc::Coord c = mesh_.coreCoord(core);
+    return static_cast<std::uint32_t>(c.row) % params_.numBackends;
+}
+
+proto::CoreId
+RpcNode::staticHashCore(proto::NodeId src, std::uint32_t slot) const
+{
+    // RSS-style static spreading (§2.3): purely header-driven, no load
+    // information — the 16x1 configuration of Fig. 1.
+    const std::uint64_t h =
+        mix64((static_cast<std::uint64_t>(src) << 20) ^ slot ^
+              (hashSalt_ * 0x9e3779b97f4a7c15ULL));
+    return static_cast<proto::CoreId>(h % params_.numCores);
+}
+
+std::uint32_t
+RpcNode::dispatcherIndexForCore(proto::CoreId core) const
+{
+    if (params_.mode == ni::DispatchMode::SingleQueue)
+        return 0;
+    RV_ASSERT(params_.mode == ni::DispatchMode::PerBackendGroup,
+              "no dispatcher in this mode");
+    return core / (params_.numCores / params_.numBackends);
+}
+
+void
+RpcNode::receivePacket(proto::Packet pkt)
+{
+    const std::uint32_t backend =
+        ingressBackendFor(pkt.hdr.src, pkt.hdr.slot);
+    backends_[backend]->receivePacket(std::move(pkt));
+}
+
+void
+RpcNode::onMessageComplete(std::uint32_t backend_id,
+                           proto::CompletionQueueEntry cqe)
+{
+    switch (params_.mode) {
+      case ni::DispatchMode::SingleQueue: {
+        // §4.3: the backend wraps the completion in a special packet
+        // and forwards it to the NI dispatcher over the mesh.
+        const sim::Tick delay = mesh_.backendToBackend(
+            backend_id, params_.dispatcherBackend, completionPacketBytes);
+        sim_.schedule(delay, [this, cqe = std::move(cqe)] {
+            dispatchers_[0]->enqueue(cqe);
+        });
+        break;
+      }
+      case ni::DispatchMode::PerBackendGroup:
+        // The receiving backend is its own dispatcher.
+        dispatchers_[backend_id]->enqueue(std::move(cqe));
+        break;
+      case ni::DispatchMode::StaticHash: {
+        const proto::CoreId core =
+            staticHashCore(cqe.srcNode,
+                           params_.domain.slotOffset(cqe.slotIndex));
+        const sim::Tick delay =
+            mesh_.backendToCore(backend_id, core, cqeBytes) +
+            params_.memory.qpTransferLatency();
+        sim_.schedule(delay, [this, core, cqe = std::move(cqe)] {
+            deliverCqeToCore(core, cqe);
+        });
+        break;
+      }
+      case ni::DispatchMode::SoftwarePull: {
+        // NIs append to the software queue in shared memory (§6.2).
+        const sim::Tick delay = params_.memory.llcLatency;
+        sim_.schedule(delay, [this, cqe = std::move(cqe)] {
+            swQueue_->push(cqe);
+        });
+        break;
+      }
+    }
+}
+
+void
+RpcNode::deliverCqeToCore(proto::CoreId core,
+                          proto::CompletionQueueEntry cqe)
+{
+    cqe.deliveredTick = sim_.now();
+    Core &c = cores_[core];
+    c.privateCq.push(std::move(cqe));
+    if (!c.busy)
+        coreMaybeStart(core, /*was_idle=*/true);
+}
+
+void
+RpcNode::coreMaybeStart(proto::CoreId core, bool was_idle)
+{
+    Core &c = cores_[core];
+    if (c.busy || c.privateCq.empty())
+        return;
+    proto::CompletionQueueEntry cqe = c.privateCq.pop();
+    runRpc(core, std::move(cqe), was_idle);
+}
+
+bool
+RpcNode::hasDispatcher() const
+{
+    return params_.mode == ni::DispatchMode::SingleQueue ||
+           params_.mode == ni::DispatchMode::PerBackendGroup;
+}
+
+void
+RpcNode::runRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
+                bool was_idle)
+{
+    Core &c = cores_[core];
+    RV_ASSERT(!c.busy, "core started an RPC while busy");
+    c.busy = true;
+    const sim::Tick busy_start = sim_.now();
+    const CoreCosts &cc = params_.coreCosts;
+
+    // A continuation of a previously preempted RPC resumes directly:
+    // the handler already ran; only the remaining processing time and
+    // a context restore are due.
+    if (auto it = continuations_.find(cqe.slotIndex);
+        it != continuations_.end()) {
+        const sim::Tick pre = (was_idle ? cc.pollDetect : sim::Tick(0)) +
+                              cc.cqeParse + params_.preemptionOverhead;
+        runSlice(core, std::move(cqe), pre, busy_start);
+        return;
+    }
+
+    // Fresh RPC: functional execution against the receive buffer's
+    // actual bytes.
+    const mem::RecvSlot &slot = recv_.slot(cqe.slotIndex);
+    RV_ASSERT(slot.busy, "RPC references a released receive slot");
+    RV_ASSERT(slot.arrivedBlocks == slot.totalBlocks,
+              "RPC dispatched before message completion");
+    app::HandleResult result = app_.handle(slot.payload, serverRng_);
+
+    const sim::Tick processing = sim::nanoseconds(result.processingNs);
+    const sim::Tick base_pre = (was_idle ? cc.pollDetect : sim::Tick(0)) +
+                               cc.cqeParse + cc.requestRead +
+                               cc.appDispatch;
+
+    if (params_.preemptionQuantum > 0 && hasDispatcher() &&
+        processing > params_.preemptionQuantum) {
+        // Shinjuku-style yield: bank the continuation, run one quantum.
+        continuations_[cqe.slotIndex] = Continuation{
+            processing - params_.preemptionQuantum, std::move(result)};
+        const sim::Tick pre = base_pre + params_.preemptionQuantum +
+                              params_.preemptionOverhead;
+        sim_.schedule(pre, [this, core, cqe = std::move(cqe),
+                            busy_start]() mutable {
+            yieldRpc(core, std::move(cqe), busy_start);
+        });
+        return;
+    }
+
+    const sim::Tick pre = base_pre + processing + cc.replyBuild;
+    sim_.schedule(pre, [this, core, cqe = std::move(cqe),
+                        result = std::move(result), busy_start]() mutable {
+        attemptReply(core, std::move(cqe), std::move(result), busy_start);
+    });
+}
+
+void
+RpcNode::runSlice(proto::CoreId core, proto::CompletionQueueEntry cqe,
+                  sim::Tick pre_cost, sim::Tick busy_start)
+{
+    auto it = continuations_.find(cqe.slotIndex);
+    RV_ASSERT(it != continuations_.end(), "missing continuation");
+    Continuation &cont = it->second;
+
+    if (cont.remaining > params_.preemptionQuantum) {
+        cont.remaining -= params_.preemptionQuantum;
+        const sim::Tick pre = pre_cost + params_.preemptionQuantum +
+                              params_.preemptionOverhead;
+        sim_.schedule(pre, [this, core, cqe = std::move(cqe),
+                            busy_start]() mutable {
+            yieldRpc(core, std::move(cqe), busy_start);
+        });
+        return;
+    }
+
+    // Final slice: finish the remaining work and take the normal
+    // reply + replenish exit path.
+    app::HandleResult result = std::move(cont.result);
+    const sim::Tick remaining = cont.remaining;
+    continuations_.erase(it);
+    const sim::Tick pre =
+        pre_cost + remaining + params_.coreCosts.replyBuild;
+    sim_.schedule(pre, [this, core, cqe = std::move(cqe),
+                        result = std::move(result), busy_start]() mutable {
+        attemptReply(core, std::move(cqe), std::move(result), busy_start);
+    });
+}
+
+void
+RpcNode::yieldRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
+                  sim::Tick busy_start)
+{
+    ++preemptionYields_;
+    // The continuation re-enters the dispatcher's shared CQ (FIFO
+    // tail) and the core's credit returns; both notifications travel
+    // the same core-to-dispatcher path as a replenish (§4.3).
+    const std::uint32_t d = dispatcherIndexForCore(core);
+    const std::uint32_t db =
+        params_.mode == ni::DispatchMode::SingleQueue
+            ? params_.dispatcherBackend
+            : d;
+    const sim::Tick notify_delay =
+        params_.memory.qpTransferLatency() +
+        mesh_.coreToBackend(core, db, wqeBytes);
+    sim_.schedule(notify_delay, [this, d, core, cqe = std::move(cqe)] {
+        dispatchers_[d]->enqueue(cqe);
+        dispatchers_[d]->onReplenish(core);
+    });
+
+    // Slice occupancy counts toward S-bar; the RPC itself completes
+    // later, so servedTotal does not move here.
+    busyAccum_ += sim_.now() - busy_start;
+    corePullNext(core);
+}
+
+void
+RpcNode::attemptReply(proto::CoreId core, proto::CompletionQueueEntry cqe,
+                      app::HandleResult result, sim::Tick busy_start)
+{
+    const proto::NodeId requester = cqe.srcNode;
+    const std::uint32_t slot_off =
+        params_.domain.slotOffset(cqe.slotIndex);
+
+    // Slot-mirrored reply: response to request slot s departs on send
+    // slot s toward the requester.
+    if (send_.slotBusy(requester, slot_off)) {
+        // Mirrored slot still awaiting its replenish: spin and retry
+        // (the core stays busy, §4.2 flow control).
+        ++replySlotStalls_;
+        sim_.schedule(params_.sendSlotRetry,
+                      [this, core, cqe = std::move(cqe),
+                       result = std::move(result), busy_start]() mutable {
+                          attemptReply(core, std::move(cqe),
+                                       std::move(result), busy_start);
+                      });
+        return;
+    }
+    const bool acquired = send_.acquireSpecific(
+        requester, slot_off, std::move(result.reply));
+    RV_ASSERT(acquired, "mirrored slot raced despite busy probe");
+
+    const CoreCosts &cc = params_.coreCosts;
+    const std::uint32_t eb = egressBackendFor(core);
+    const sim::Tick wqe_delay =
+        params_.memory.qpTransferLatency() +
+        mesh_.coreToBackend(core, eb, wqeBytes);
+
+    // §4.2 "Send operation": the WQE reaches the NI, which reads the
+    // payload and streams the packets.
+    sim_.schedule(cc.sendPost + wqe_delay,
+                  [this, eb, requester, slot_off] {
+                      backends_[eb]->transmitMessage(
+                          proto::OpType::Send, params_.nodeId, requester,
+                          slot_off, send_.payload(requester, slot_off));
+                  });
+
+    // §5 step iv: replenish is posted right after the send; latency
+    // measurement ends there.
+    const bool critical = result.latencyCritical;
+    sim_.schedule(cc.sendPost + cc.replenishPost,
+                  [this, core, cqe = std::move(cqe), critical,
+                   busy_start] {
+                      finishRpc(core, cqe, critical, busy_start);
+                  });
+}
+
+void
+RpcNode::finishRpc(proto::CoreId core,
+                   const proto::CompletionQueueEntry &cqe, bool critical,
+                   sim::Tick busy_start)
+{
+    const sim::Tick latency = sim_.now() - cqe.firstPacketTick;
+    allLatency_.record(latency);
+    ++servedTotal_;
+    if (critical) {
+        criticalLatency_.record(latency);
+        ++servedCritical_;
+    }
+    ++cores_[core].served;
+
+    // Component decomposition (timestamps are monotone along the
+    // pipeline by construction).
+    breakdown_.reassembly.record(cqe.completionTick -
+                                 cqe.firstPacketTick);
+    breakdown_.dispatch.record(cqe.deliveredTick - cqe.completionTick);
+    breakdown_.queueWait.record(busy_start - cqe.deliveredTick);
+    breakdown_.service.record(sim_.now() - busy_start);
+
+    const proto::NodeId requester = cqe.srcNode;
+    const std::uint32_t slot_off =
+        params_.domain.slotOffset(cqe.slotIndex);
+    const std::uint32_t eb = egressBackendFor(core);
+
+    // The receive slot is reusable once the replenish is on its way:
+    // the sender will not reuse the slot before seeing the credit.
+    recv_.release(cqe.slotIndex);
+
+    const sim::Tick wqe_delay =
+        params_.memory.qpTransferLatency() +
+        mesh_.coreToBackend(core, eb, wqeBytes);
+    sim_.schedule(wqe_delay, [this, eb, requester, slot_off] {
+        backends_[eb]->transmitMessage(proto::OpType::Replenish,
+                                       params_.nodeId, requester,
+                                       slot_off, {});
+    });
+
+    // Tell the dispatcher this core freed a credit (hardware modes).
+    if (params_.mode == ni::DispatchMode::SingleQueue ||
+        params_.mode == ni::DispatchMode::PerBackendGroup) {
+        const std::uint32_t d = dispatcherIndexForCore(core);
+        const std::uint32_t db =
+            params_.mode == ni::DispatchMode::SingleQueue
+                ? params_.dispatcherBackend
+                : d;
+        const sim::Tick notify_delay =
+            params_.memory.qpTransferLatency() +
+            mesh_.coreToBackend(core, db, wqeBytes);
+        sim_.schedule(notify_delay,
+                      [this, d, core] { dispatchers_[d]->onReplenish(core); });
+    }
+
+    if (completionHook_)
+        completionHook_(critical, latency);
+
+    // §5 loop bookkeeping, then look for the next request.
+    sim_.schedule(params_.coreCosts.loopOverhead,
+                  [this, core, busy_start] {
+                      busyAccum_ += sim_.now() - busy_start;
+                      corePullNext(core);
+                  });
+}
+
+void
+RpcNode::corePullNext(proto::CoreId core)
+{
+    Core &c = cores_[core];
+    c.busy = false;
+    if (params_.mode == ni::DispatchMode::SoftwarePull) {
+        swQueue_->requestPull(
+            [this, core](const proto::CompletionQueueEntry &entry) {
+                proto::CompletionQueueEntry granted = entry;
+                granted.deliveredTick = sim_.now();
+                runRpc(core, std::move(granted), /*was_idle=*/false);
+            });
+        return;
+    }
+    coreMaybeStart(core, /*was_idle=*/false);
+}
+
+const stats::LatencyRecorder &
+RpcNode::criticalLatency() const
+{
+    return criticalLatency_;
+}
+
+const stats::LatencyRecorder &
+RpcNode::allLatency() const
+{
+    return allLatency_;
+}
+
+double
+RpcNode::meanServiceTimeNs() const
+{
+    if (servedTotal_ == 0)
+        return 0.0;
+    return sim::toNs(busyAccum_) / static_cast<double>(servedTotal_);
+}
+
+std::vector<std::uint64_t>
+RpcNode::perCoreServed() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(cores_.size());
+    for (const Core &c : cores_)
+        out.push_back(c.served);
+    return out;
+}
+
+std::uint32_t
+RpcNode::recvSlotPeak() const
+{
+    return recv_.busyHighWatermark();
+}
+
+std::uint32_t
+RpcNode::recvSlotsBusy() const
+{
+    return recv_.busyCount();
+}
+
+const ni::Dispatcher *
+RpcNode::dispatcher(std::uint32_t index) const
+{
+    if (index >= dispatchers_.size())
+        return nullptr;
+    return dispatchers_[index].get();
+}
+
+const sync::SoftwareSharedQueue *
+RpcNode::softwareQueue() const
+{
+    return swQueue_.get();
+}
+
+const ni::NiBackend &
+RpcNode::backend(std::uint32_t index) const
+{
+    RV_ASSERT(index < backends_.size(), "backend index out of range");
+    return *backends_[index];
+}
+
+} // namespace rpcvalet::node

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The modeled server: 16 cores, Manycore NI, messaging buffers and
+ * dispatch plumbing, executing the §5 microbenchmark loop over a real
+ * application.
+ *
+ * Per-RPC timeline (hardware modes):
+ *   fabric -> NI backend ingress (per-packet pipeline) -> receive
+ *   buffer write + counter -> message completion -> dispatch
+ *   (mode-dependent) -> core private CQ -> core runs the loop:
+ *   poll/parse/read + application processing X + reply send (slot-
+ *   mirrored) + replenish. Latency is measured from the first packet's
+ *   arrival at the NI until the core posts its replenish (§5).
+ */
+
+#ifndef RPCVALET_NODE_RPC_NODE_HH
+#define RPCVALET_NODE_RPC_NODE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "app/rpc_application.hh"
+#include "mem/buffers.hh"
+#include "net/fabric.hh"
+#include "ni/backend.hh"
+#include "ni/dispatcher.hh"
+#include "noc/mesh.hh"
+#include "node/params.hh"
+#include "proto/qp.hh"
+#include "stats/latency_recorder.hh"
+#include "sync/mcs_queue.hh"
+
+namespace rpcvalet::node {
+
+/** One simulated RPC server node. */
+class RpcNode
+{
+  public:
+    /** Called after each served RPC (latency-critical flag, latency). */
+    using CompletionHook = std::function<void(bool, sim::Tick)>;
+
+    /**
+     * @param sim      Owning simulator.
+     * @param params   Validated system parameters.
+     * @param app      Application served by this node.
+     * @param fabric   Inter-node fabric (node attaches itself).
+     * @param warmup_samples Latency samples to discard as warmup.
+     */
+    RpcNode(sim::Simulator &sim, const SystemParams &params,
+            app::RpcApplication &app, net::Fabric &fabric,
+            std::uint64_t warmup_samples);
+
+    /** Software mode: park all cores on the shared queue. */
+    void start();
+
+    /** Fabric sink: a packet addressed to this node. */
+    void receivePacket(proto::Packet pkt);
+
+    /** Register a hook run after every completed RPC. */
+    void setCompletionHook(CompletionHook hook);
+
+    // ----- measurement -----
+
+    /**
+     * Per-RPC latency decomposition (all RPCs): where time goes
+     * between first packet and replenish. Mirrors the paper's
+     * end-to-end pipeline: reassembly at the NI backend, dispatch
+     * (shared-CQ wait + credit wait + delivery), private-CQ wait at
+     * the core, and core service.
+     */
+    struct Breakdown
+    {
+        stats::LatencyRecorder reassembly;
+        stats::LatencyRecorder dispatch;
+        stats::LatencyRecorder queueWait;
+        stats::LatencyRecorder service;
+    };
+
+    /** Latency recorder over latency-critical RPCs (tail metric). */
+    const stats::LatencyRecorder &criticalLatency() const;
+
+    /** Latency recorder over all RPCs. */
+    const stats::LatencyRecorder &allLatency() const;
+
+    /** Component-wise latency decomposition. */
+    const Breakdown &breakdown() const { return breakdown_; }
+
+    /** Completed RPCs (all kinds). */
+    std::uint64_t served() const { return servedTotal_; }
+
+    /** Completed latency-critical RPCs. */
+    std::uint64_t servedCritical() const { return servedCritical_; }
+
+    /** Mean core occupancy per RPC, ns (the measured S-bar of §6.1). */
+    double meanServiceTimeNs() const;
+
+    /** Per-core served counts (balance diagnostics). */
+    std::vector<std::uint64_t> perCoreServed() const;
+
+    /** Times a reply had to wait for its mirrored send slot. */
+    std::uint64_t replySlotStalls() const { return replySlotStalls_; }
+
+    /** Preemption yields taken (0 unless preemptionQuantum is set). */
+    std::uint64_t preemptionYields() const { return preemptionYields_; }
+
+    /** Peak busy receive slots (memory-footprint diagnostics). */
+    std::uint32_t recvSlotPeak() const;
+
+    /** Currently busy receive slots (0 after a full drain). */
+    std::uint32_t recvSlotsBusy() const;
+
+    /** Dispatcher introspection (null in 16x1 / software modes). */
+    const ni::Dispatcher *dispatcher(std::uint32_t index) const;
+
+    /** Software shared queue (null in hardware modes). */
+    const sync::SoftwareSharedQueue *softwareQueue() const;
+
+    /** NI backend introspection. */
+    const ni::NiBackend &backend(std::uint32_t index) const;
+
+  private:
+    struct Core
+    {
+        bool busy = false;
+        proto::Fifo<proto::CompletionQueueEntry> privateCq;
+        std::uint64_t served = 0;
+    };
+
+    // --- wiring helpers ---
+    std::uint32_t ingressBackendFor(proto::NodeId src,
+                                    std::uint32_t slot) const;
+    std::uint32_t egressBackendFor(proto::CoreId core) const;
+    proto::CoreId staticHashCore(proto::NodeId src,
+                                 std::uint32_t slot) const;
+    std::uint32_t dispatcherIndexForCore(proto::CoreId core) const;
+
+    // --- event flow ---
+    void onMessageComplete(std::uint32_t backend_id,
+                           proto::CompletionQueueEntry cqe);
+    void deliverCqeToCore(proto::CoreId core,
+                          proto::CompletionQueueEntry cqe);
+    void coreMaybeStart(proto::CoreId core, bool was_idle);
+    void runRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
+                bool was_idle);
+    bool hasDispatcher() const;
+    void runSlice(proto::CoreId core, proto::CompletionQueueEntry cqe,
+                  sim::Tick pre_cost, sim::Tick busy_start);
+    void yieldRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
+                  sim::Tick busy_start);
+    void attemptReply(proto::CoreId core,
+                      proto::CompletionQueueEntry cqe,
+                      app::HandleResult result, sim::Tick busy_start);
+    void finishRpc(proto::CoreId core,
+                   const proto::CompletionQueueEntry &cqe, bool critical,
+                   sim::Tick busy_start);
+    void corePullNext(proto::CoreId core);
+
+    sim::Simulator &sim_;
+    SystemParams params_;
+    app::RpcApplication &app_;
+    net::Fabric &fabric_;
+    noc::Mesh mesh_;
+    mem::RecvBuffer recv_;
+    mem::SendBuffer send_;
+    std::vector<std::unique_ptr<ni::NiBackend>> backends_;
+    std::vector<std::unique_ptr<ni::Dispatcher>> dispatchers_;
+    std::unique_ptr<sync::SoftwareSharedQueue> swQueue_;
+    std::vector<Core> cores_;
+    sim::Rng serverRng_;
+    std::uint64_t hashSalt_;
+
+    stats::LatencyRecorder criticalLatency_;
+    stats::LatencyRecorder allLatency_;
+    Breakdown breakdown_;
+
+    /** Preempted-RPC continuations, keyed by receive-slot index
+     *  (unique while the slot is busy). */
+    struct Continuation
+    {
+        sim::Tick remaining = 0;
+        app::HandleResult result;
+    };
+    std::unordered_map<std::uint32_t, Continuation> continuations_;
+    std::uint64_t preemptionYields_ = 0;
+    CompletionHook completionHook_;
+    std::uint64_t servedTotal_ = 0;
+    std::uint64_t servedCritical_ = 0;
+    std::uint64_t replySlotStalls_ = 0;
+    sim::Tick busyAccum_ = 0;
+};
+
+} // namespace rpcvalet::node
+
+#endif // RPCVALET_NODE_RPC_NODE_HH

@@ -1,0 +1,59 @@
+#include "proto/messaging.hh"
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::proto {
+
+std::uint32_t
+MessagingDomain::slotIndex(NodeId src, std::uint32_t slot) const
+{
+    RV_ASSERT(src < numNodes, "source node out of domain");
+    RV_ASSERT(slot < slotsPerNode, "slot out of range");
+    return src * slotsPerNode + slot;
+}
+
+NodeId
+MessagingDomain::slotSource(std::uint32_t index) const
+{
+    RV_ASSERT(index < totalSlots(), "slot index out of range");
+    return index / slotsPerNode;
+}
+
+std::uint32_t
+MessagingDomain::slotOffset(std::uint32_t index) const
+{
+    RV_ASSERT(index < totalSlots(), "slot index out of range");
+    return index % slotsPerNode;
+}
+
+std::uint64_t
+MessagingDomain::sendBufferBytes() const
+{
+    return 32ULL * numNodes * slotsPerNode;
+}
+
+std::uint64_t
+MessagingDomain::recvBufferBytes() const
+{
+    return static_cast<std::uint64_t>(maxMsgBytes + 64) * numNodes *
+           slotsPerNode;
+}
+
+std::uint64_t
+MessagingDomain::footprintBytes() const
+{
+    return sendBufferBytes() + recvBufferBytes();
+}
+
+void
+MessagingDomain::validate() const
+{
+    if (numNodes < 2)
+        sim::fatal("messaging domain needs at least two nodes");
+    if (slotsPerNode == 0)
+        sim::fatal("messaging domain needs at least one slot per node");
+    if (maxMsgBytes == 0 || maxMsgBytes % cacheBlockBytes != 0)
+        sim::fatal("maxMsgBytes must be a positive multiple of 64");
+}
+
+} // namespace rpcvalet::proto

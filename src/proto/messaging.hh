@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Messaging-domain geometry (§4.2 "Buffer provisioning").
+ *
+ * A messaging domain spans N nodes. Each node allocates a send buffer
+ * and a receive buffer of N x S slots: the (src, slot) pair of an
+ * incoming send names its receive-buffer slot, so the sender fully
+ * determines where the message lands (avoiding reassembly state in the
+ * NI), while the destination NI independently chooses which core
+ * processes it.
+ */
+
+#ifndef RPCVALET_PROTO_MESSAGING_HH
+#define RPCVALET_PROTO_MESSAGING_HH
+
+#include <cstdint>
+
+#include "proto/packet.hh"
+
+namespace rpcvalet::proto {
+
+/** Static configuration of a messaging domain. */
+struct MessagingDomain
+{
+    /** Number of nodes that can exchange messages (N). */
+    std::uint32_t numNodes = 200;
+    /** Message slots per (src, dst) pair (S). */
+    std::uint32_t slotsPerNode = 32;
+    /** Maximum message payload size in bytes. */
+    std::uint32_t maxMsgBytes = 2048;
+
+    /** Total slots in a node's receive (or send) buffer: N x S. */
+    std::uint32_t totalSlots() const { return numNodes * slotsPerNode; }
+
+    /**
+     * Flat receive-buffer slot index for a message from @p src in
+     * per-pair slot @p slot. Panics on out-of-range input.
+     */
+    std::uint32_t slotIndex(NodeId src, std::uint32_t slot) const;
+
+    /** Inverse of slotIndex: source node of a flat index. */
+    NodeId slotSource(std::uint32_t index) const;
+
+    /** Inverse of slotIndex: per-pair slot of a flat index. */
+    std::uint32_t slotOffset(std::uint32_t index) const;
+
+    /**
+     * Send-buffer footprint in bytes: 32 B of bookkeeping per slot
+     * (§4.2: valid bit, payload pointer, size, padding).
+     */
+    std::uint64_t sendBufferBytes() const;
+
+    /**
+     * Receive-buffer footprint in bytes: each slot holds a payload of
+     * maxMsgBytes plus a full cache block for the arrival counter
+     * (§4.2 over-provisions the counter to 64 B to keep payloads
+     * aligned).
+     */
+    std::uint64_t recvBufferBytes() const;
+
+    /**
+     * Total per-node messaging footprint (§4.2's formula):
+     * 32*N*S + (maxMsgBytes + 64)*N*S.
+     */
+    std::uint64_t footprintBytes() const;
+
+    /** Validate the configuration; fatal() on nonsense. */
+    void validate() const;
+};
+
+} // namespace rpcvalet::proto
+
+#endif // RPCVALET_PROTO_MESSAGING_HH

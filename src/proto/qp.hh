@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Queue-pair entries (Virtual Interface Architecture style, §3.1).
+ *
+ * Each core owns a private QP: a Work Queue it writes WQEs into and a
+ * Completion Queue the NI writes CQEs into. RPCValet adds the shared
+ * CQ, a dispatcher-resident FIFO of fully received messages awaiting
+ * assignment to a core (§4.2 step 7).
+ */
+
+#ifndef RPCVALET_PROTO_QP_HH
+#define RPCVALET_PROTO_QP_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "proto/packet.hh"
+#include "sim/types.hh"
+
+namespace rpcvalet::proto {
+
+/** Work-queue entry: a core's command to the NI. */
+struct WorkQueueEntry
+{
+    OpType op = OpType::Send;
+    /** Destination node. */
+    NodeId dstNode = 0;
+    /** Destination slot within the (self, dst) slot set. */
+    std::uint32_t slot = 0;
+    /** Payload for send operations (empty for replenish). */
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Completion-queue entry: NI's notification to a core that a send
+ * arrived. Carries the flat receive-buffer slot index (§4.2 step 8) —
+ * the core reads payload directly from the receive buffer (zero copy).
+ */
+struct CompletionQueueEntry
+{
+    /** Flat receive-buffer slot holding the message. */
+    std::uint32_t slotIndex = 0;
+    /** Message origin. */
+    NodeId srcNode = 0;
+    /** Payload size in bytes. */
+    std::uint32_t msgBytes = 0;
+    /** Tick the message's first packet reached the NI (latency t0). */
+    sim::Tick firstPacketTick = 0;
+    /** Tick the message became fully received (reassembly done). */
+    sim::Tick completionTick = 0;
+    /** Tick the CQE landed in the serving core's private CQ. */
+    sim::Tick deliveredTick = 0;
+};
+
+/**
+ * Simple FIFO wrapper with occupancy-high-watermark tracking, used for
+ * WQs, private CQs, and the dispatcher's shared CQ.
+ */
+template <typename Entry>
+class Fifo
+{
+  public:
+    void
+    push(Entry e)
+    {
+        queue_.push_back(std::move(e));
+        if (queue_.size() > highWatermark_)
+            highWatermark_ = queue_.size();
+    }
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+    std::size_t highWatermark() const { return highWatermark_; }
+
+    const Entry &front() const { return queue_.front(); }
+
+    Entry
+    pop()
+    {
+        Entry e = std::move(queue_.front());
+        queue_.pop_front();
+        return e;
+    }
+
+  private:
+    std::deque<Entry> queue_;
+    std::size_t highWatermark_ = 0;
+};
+
+} // namespace rpcvalet::proto
+
+#endif // RPCVALET_PROTO_QP_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Theoretical Q x U queuing systems (Fig. 1 / §2.2).
+ *
+ * A queuing system has Q FIFO queues and U serving units per queue
+ * (Q*U = 16 for the paper's hypothetical server). Poisson arrivals are
+ * assigned uniformly at random to a queue; each queue's units serve it
+ * in FIFO order. This is the model used for Fig. 2 and for the "Model"
+ * curves of Fig. 9 (via a split fixed+distributed service time, §6.3).
+ */
+
+#ifndef RPCVALET_QUEUEING_MODEL_HH
+#define RPCVALET_QUEUEING_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/distributions.hh"
+#include "stats/series.hh"
+
+namespace rpcvalet::queueing {
+
+/** Configuration for one Q x U queuing-model run. */
+struct ModelConfig
+{
+    /** Number of FIFO input queues (Q). */
+    unsigned numQueues = 1;
+    /** Serving units per queue (U). */
+    unsigned unitsPerQueue = 16;
+    /** Poisson arrival rate, requests per second. */
+    double arrivalRps = 1e6;
+    /** Service-time distribution (ns). */
+    const sim::Distribution *service = nullptr;
+    /** Experiment seed. */
+    std::uint64_t seed = 1;
+    /** Completions discarded as warmup. */
+    std::uint64_t warmupCompletions = 20000;
+    /** Completions measured after warmup. */
+    std::uint64_t measuredCompletions = 200000;
+};
+
+/** Summary of one queuing-model run. */
+struct ModelResult
+{
+    stats::LoadPoint point;
+    /** Total simulated time, ns. */
+    double simulatedNs = 0.0;
+};
+
+/**
+ * Run one Q x U queuing simulation to completion.
+ *
+ * Sojourn time (queue wait + service) is recorded per job; the returned
+ * LoadPoint carries offered/achieved rates and latency percentiles.
+ */
+ModelResult runModel(const ModelConfig &cfg);
+
+/** Parameters for a load sweep over one Q x U configuration. */
+struct SweepConfig
+{
+    unsigned numQueues = 1;
+    unsigned unitsPerQueue = 16;
+    /** Utilization points, each in (0, 1+); rho = lambda * S / (Q*U). */
+    std::vector<double> loads;
+    const sim::Distribution *service = nullptr;
+    std::uint64_t seed = 1;
+    std::uint64_t warmupCompletions = 20000;
+    std::uint64_t measuredCompletions = 200000;
+    /** Label for the resulting series. */
+    std::string label;
+};
+
+/**
+ * Sweep utilization levels: for each rho, the arrival rate is
+ * rho * (Q*U) / mean_service. Returns one Series suitable for the
+ * figure printers.
+ */
+stats::Series runLoadSweep(const SweepConfig &cfg);
+
+} // namespace rpcvalet::queueing
+
+#endif // RPCVALET_QUEUEING_MODEL_HH

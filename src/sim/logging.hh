@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error-reporting helpers, in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits(1).
+ * warn()   — something is suspicious but the simulation can continue.
+ */
+
+#ifndef RPCVALET_SIM_LOGGING_HH
+#define RPCVALET_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rpcvalet::sim {
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report a user/configuration error and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a recoverable oddity to stderr. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+} // namespace rpcvalet::sim
+
+/**
+ * Always-on invariant check (independent of NDEBUG): the simulator's
+ * correctness argument leans on these, so they stay enabled in release
+ * builds. Condition failures are simulator bugs, hence panic().
+ */
+#define RV_ASSERT(cond, msg)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::rpcvalet::sim::panic(                                        \
+                ::rpcvalet::sim::strfmt("%s:%d: assertion '%s' failed: %s",\
+                                        __FILE__, __LINE__, #cond, msg));  \
+        }                                                                  \
+    } while (0)
+
+#endif // RPCVALET_SIM_LOGGING_HH

@@ -1,0 +1,154 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::sim {
+
+namespace {
+
+/** splitmix64 step, used only for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+{
+    // Mix the stream id in so (seed, 0) and (seed, 1) diverge fully.
+    std::uint64_t x = seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
+    for (auto &word : s_)
+        word = splitmix64(x);
+    // All-zero state is invalid for xoshiro; splitmix64 makes this
+    // astronomically unlikely, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 top bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformPositive()
+{
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return u;
+}
+
+double
+Rng::uniformRange(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    RV_ASSERT(lo <= hi, "uniformInt bounds inverted");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0)
+        return next(); // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit && limit != 0);
+    return lo + v % span;
+}
+
+double
+Rng::exponential(double mean)
+{
+    RV_ASSERT(mean > 0.0, "exponential mean must be positive");
+    return -mean * std::log(uniformPositive());
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spareNormal_;
+    }
+    const double u1 = uniformPositive();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spareNormal_ = r * std::sin(theta);
+    hasSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double sigma)
+{
+    return mean + sigma * normal();
+}
+
+double
+Rng::gamma(double shape_k, double scale_theta)
+{
+    RV_ASSERT(shape_k > 0.0 && scale_theta > 0.0,
+              "gamma parameters must be positive");
+    // Marsaglia & Tsang (2000). For k < 1 use the boost trick:
+    // Gamma(k) = Gamma(k + 1) * U^(1/k).
+    if (shape_k < 1.0) {
+        const double u = uniformPositive();
+        return gamma(shape_k + 1.0, scale_theta) *
+               std::pow(u, 1.0 / shape_k);
+    }
+    const double d = shape_k - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x;
+        double v;
+        do {
+            x = normal();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = uniformPositive();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v * scale_theta;
+        if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+            return d * v * scale_theta;
+    }
+}
+
+} // namespace rpcvalet::sim

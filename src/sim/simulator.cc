@@ -1,0 +1,91 @@
+#include "sim/simulator.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::sim {
+
+void
+Simulator::schedule(Tick delay, Callback cb)
+{
+    scheduleAt(now_ + delay, std::move(cb));
+}
+
+void
+Simulator::scheduleAt(Tick when, Callback cb)
+{
+    RV_ASSERT(when >= now_, "event scheduled in the past");
+    RV_ASSERT(cb != nullptr, "null event callback");
+    queue_.push(Item{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+Simulator::executeNext()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top() is const; the callback has to be moved out,
+    // so copy the POD fields first and pop before invoking. Invoking
+    // after pop also lets the callback schedule new events freely.
+    Item item = std::move(const_cast<Item &>(queue_.top()));
+    queue_.pop();
+    RV_ASSERT(item.when >= now_, "event queue went backwards");
+    now_ = item.when;
+    ++executed_;
+    item.cb();
+    return true;
+}
+
+Tick
+Simulator::run()
+{
+    stopRequested_ = false;
+    while (!stopRequested_ && executeNext()) {
+    }
+    return now_;
+}
+
+Tick
+Simulator::runUntil(Tick until)
+{
+    stopRequested_ = false;
+    while (!stopRequested_ && !queue_.empty() &&
+           queue_.top().when <= until) {
+        executeNext();
+    }
+    if (!stopRequested_ && now_ < until)
+        now_ = until;
+    return now_;
+}
+
+PoissonProcess::PoissonProcess(Simulator &sim, double rate_per_sec,
+                               std::uint64_t rng_seed, Handler handler)
+    : sim_(sim), ratePerSec_(rate_per_sec),
+      meanGapNs_(1e9 / rate_per_sec), rng_(rng_seed, /*stream=*/0x90150),
+      handler_(std::move(handler))
+{
+    RV_ASSERT(rate_per_sec > 0.0, "arrival rate must be positive");
+    RV_ASSERT(handler_ != nullptr, "arrival handler missing");
+}
+
+void
+PoissonProcess::start()
+{
+    scheduleNext();
+}
+
+void
+PoissonProcess::scheduleNext()
+{
+    const Tick gap = nanoseconds(rng_.exponential(meanGapNs_));
+    sim_.schedule(gap, [this] {
+        if (halted_)
+            return;
+        ++arrivals_;
+        handler_();
+        scheduleNext();
+    });
+}
+
+} // namespace rpcvalet::sim

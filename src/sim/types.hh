@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fundamental simulated-time types for the RPCValet simulator.
+ *
+ * All simulated time is kept as an integral number of picoseconds
+ * (Tick). Picosecond resolution lets us represent sub-nanosecond
+ * quantities (e.g. fractions of a 2 GHz cycle) without rounding drift
+ * across billions of events.
+ */
+
+#ifndef RPCVALET_SIM_TYPES_HH
+#define RPCVALET_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace rpcvalet::sim {
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per common time unit. */
+constexpr Tick ticksPerNs = 1000;
+constexpr Tick ticksPerUs = 1000 * ticksPerNs;
+constexpr Tick ticksPerMs = 1000 * ticksPerUs;
+constexpr Tick ticksPerSec = 1000 * ticksPerMs;
+
+/** Convert a (possibly fractional) nanosecond count to ticks. */
+constexpr Tick
+nanoseconds(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(ticksPerNs) + 0.5);
+}
+
+/** Convert a (possibly fractional) microsecond count to ticks. */
+constexpr Tick
+microseconds(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(ticksPerUs) + 0.5);
+}
+
+/** Convert ticks to nanoseconds (lossy, for reporting). */
+constexpr double
+toNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerNs);
+}
+
+/** Convert ticks to microseconds (lossy, for reporting). */
+constexpr double
+toUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerUs);
+}
+
+/** Convert ticks to seconds (lossy, for rate computations). */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSec);
+}
+
+/**
+ * A clock domain, used to convert CPU/NI cycle counts into ticks.
+ * The paper's modeled chip runs at 2 GHz (Table 1).
+ */
+class Clock
+{
+  public:
+    /** @param freq_ghz Clock frequency in GHz. Must be positive. */
+    constexpr explicit Clock(double freq_ghz)
+        : periodPs_(1000.0 / freq_ghz), freqGhz_(freq_ghz)
+    {}
+
+    /** Duration of @p n cycles, in ticks. */
+    constexpr Tick
+    cycles(double n) const
+    {
+        return static_cast<Tick>(n * periodPs_ + 0.5);
+    }
+
+    /** Clock period in ticks (picoseconds). */
+    constexpr Tick period() const { return static_cast<Tick>(periodPs_); }
+
+    /** Frequency in GHz. */
+    constexpr double frequencyGhz() const { return freqGhz_; }
+
+  private:
+    double periodPs_;
+    double freqGhz_;
+};
+
+} // namespace rpcvalet::sim
+
+#endif // RPCVALET_SIM_TYPES_HH

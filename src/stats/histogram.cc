@@ -1,0 +1,102 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), binWidth_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    RV_ASSERT(hi > lo, "histogram range empty");
+    RV_ASSERT(bins >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double value)
+{
+    ++count_;
+    sum_ += value;
+    double idx = (value - lo_) / binWidth_;
+    auto bin = static_cast<long>(std::floor(idx));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t i) const
+{
+    RV_ASSERT(i < counts_.size(), "histogram bin out of range");
+    return counts_[i];
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    RV_ASSERT(i < counts_.size(), "histogram bin out of range");
+    return lo_ + (static_cast<double>(i) + 0.5) * binWidth_;
+}
+
+double
+Histogram::density(std::size_t i) const
+{
+    if (count_ == 0)
+        return 0.0;
+    return fraction(i) / binWidth_;
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    RV_ASSERT(i < counts_.size(), "histogram bin out of range");
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[i]) / static_cast<double>(count_);
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(count_);
+}
+
+std::string
+Histogram::asciiPlot(std::size_t rows, std::size_t width) const
+{
+    // Down-sample bins into `rows` groups; scale bars to `width`.
+    std::string out;
+    if (count_ == 0 || rows == 0)
+        return out;
+    const std::size_t group = std::max<std::size_t>(1, bins() / rows);
+    std::vector<std::uint64_t> grouped;
+    for (std::size_t i = 0; i < bins(); i += group) {
+        std::uint64_t acc = 0;
+        for (std::size_t j = i; j < std::min(i + group, bins()); ++j)
+            acc += counts_[j];
+        grouped.push_back(acc);
+    }
+    const std::uint64_t peak =
+        *std::max_element(grouped.begin(), grouped.end());
+    if (peak == 0)
+        return out;
+    for (std::size_t g = 0; g < grouped.size(); ++g) {
+        const double lo = lo_ + static_cast<double>(g * group) * binWidth_;
+        const auto bar_len = static_cast<std::size_t>(
+            std::llround(static_cast<double>(grouped[g]) /
+                         static_cast<double>(peak) *
+                         static_cast<double>(width)));
+        out += sim::strfmt("%10.1f | ", lo);
+        out.append(bar_len, '#');
+        out += sim::strfmt("  %.4f\n",
+                           static_cast<double>(grouped[g]) /
+                               static_cast<double>(count_));
+    }
+    return out;
+}
+
+} // namespace rpcvalet::stats

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-bin histogram, used to render the Fig. 6 processing-time PDFs
+ * and for distribution-shape assertions in tests.
+ */
+
+#ifndef RPCVALET_STATS_HISTOGRAM_HH
+#define RPCVALET_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpcvalet::stats {
+
+/** Equal-width histogram over [lo, hi); out-of-range goes to edge bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo   Lower bound of the tracked range.
+     * @param hi   Upper bound (exclusive); must exceed @p lo.
+     * @param bins Number of equal-width bins (>= 1).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one observation. Values outside [lo, hi) clamp to edge bins. */
+    void add(double value);
+
+    /** Number of observations recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Raw count in bin @p i. */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /** Center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Probability density estimate for bin @p i (integrates to ~1). */
+    double density(std::size_t i) const;
+
+    /** Fraction of observations in bin @p i. */
+    double fraction(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Mean of recorded observations. */
+    double mean() const;
+
+    /**
+     * Render the histogram as an ASCII density plot (one row per bin
+     * group), used by the fig6 bench for terminal-readable PDFs.
+     */
+    std::string asciiPlot(std::size_t rows = 20,
+                          std::size_t width = 60) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace rpcvalet::stats
+
+#endif // RPCVALET_STATS_HISTOGRAM_HH

@@ -1,0 +1,52 @@
+#include "stats/series.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::stats {
+
+std::string
+formatSeriesTable(const std::string &title,
+                  const std::vector<Series> &series, bool latency_unit_us)
+{
+    std::string out = title + "\n";
+    out += std::string(title.size(), '=') + "\n";
+    const char *unit = latency_unit_us ? "us" : "ns";
+    const double scale = latency_unit_us ? 1e-3 : 1.0;
+    for (const auto &s : series) {
+        out += sim::strfmt("\n-- %s --\n", s.label.c_str());
+        out += sim::strfmt("%14s %14s %12s %12s %12s\n", "offered(Mrps)",
+                           "achieved(Mrps)",
+                           sim::strfmt("mean(%s)", unit).c_str(),
+                           sim::strfmt("p50(%s)", unit).c_str(),
+                           sim::strfmt("p99(%s)", unit).c_str());
+        for (const auto &p : s.points) {
+            out += sim::strfmt("%14.3f %14.3f %12.3f %12.3f %12.3f\n",
+                               p.offeredRps / 1e6, p.achievedRps / 1e6,
+                               p.meanNs * scale, p.p50Ns * scale,
+                               p.p99Ns * scale);
+        }
+    }
+    return out;
+}
+
+std::string
+formatSeriesCsv(const std::vector<Series> &series)
+{
+    std::string out =
+        "series,offered_rps,achieved_rps,mean_ns,p50_ns,p90_ns,p99_ns,"
+        "samples\n";
+    for (const auto &s : series) {
+        for (const auto &p : s.points) {
+            out += sim::strfmt("%s,%.1f,%.1f,%.2f,%.2f,%.2f,%.2f,%llu\n",
+                               s.label.c_str(), p.offeredRps,
+                               p.achievedRps, p.meanNs, p.p50Ns, p.p90Ns,
+                               p.p99Ns,
+                               static_cast<unsigned long long>(p.samples));
+        }
+    }
+    return out;
+}
+
+} // namespace rpcvalet::stats

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Load/latency series: the data behind every figure in the paper's
+ * evaluation — one (offered load, achieved throughput, latency
+ * percentiles) point per simulated load level — plus table printers.
+ */
+
+#ifndef RPCVALET_STATS_SERIES_HH
+#define RPCVALET_STATS_SERIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpcvalet::stats {
+
+/** One measured operating point of a system under a fixed offered load. */
+struct LoadPoint
+{
+    /** Offered arrival rate, requests per second. */
+    double offeredRps = 0.0;
+    /** Achieved completion throughput, requests per second. */
+    double achievedRps = 0.0;
+    /** Mean latency over retained samples, ns. */
+    double meanNs = 0.0;
+    /** Median latency, ns. */
+    double p50Ns = 0.0;
+    /** 90th percentile latency, ns. */
+    double p90Ns = 0.0;
+    /** 99th percentile latency, ns. */
+    double p99Ns = 0.0;
+    /** Retained sample count behind the percentiles. */
+    std::uint64_t samples = 0;
+};
+
+/** A named curve: e.g. "1x16" in Fig. 7a. */
+struct Series
+{
+    std::string label;
+    std::vector<LoadPoint> points;
+};
+
+/**
+ * Print a figure-style table: one row per load point, one
+ * (throughput, p99) column pair per series, aligned for terminals.
+ *
+ * @param title      Heading (e.g. "Figure 7a: HERD").
+ * @param series     The curves to print; rows follow each series'
+ *                   own points (series may have different lengths).
+ * @param latency_unit_us If true print latencies in µs, else ns.
+ */
+std::string formatSeriesTable(const std::string &title,
+                              const std::vector<Series> &series,
+                              bool latency_unit_us);
+
+/** CSV dump (offered, achieved, mean, p50, p90, p99 per series). */
+std::string formatSeriesCsv(const std::vector<Series> &series);
+
+} // namespace rpcvalet::stats
+
+#endif // RPCVALET_STATS_SERIES_HH

@@ -1,0 +1,77 @@
+#include "stats/slo.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::stats {
+
+SloResult
+throughputUnderSlo(const Series &series, double slo_ns)
+{
+    SloResult result;
+    const auto &pts = series.points;
+    if (pts.empty())
+        return result;
+
+    // Find the last point that satisfies the SLO. Points are assumed
+    // ordered by offered load; p99 is monotone in practice but noisy
+    // tails can wiggle, so scan for the last compliant point.
+    std::size_t last_ok = pts.size();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i].p99Ns <= slo_ns)
+            last_ok = i;
+    }
+    if (last_ok == pts.size())
+        return result; // SLO never met
+
+    result.met = true;
+    const LoadPoint &ok = pts[last_ok];
+    result.throughputRps = ok.achievedRps;
+    result.p99Ns = ok.p99Ns;
+
+    if (last_ok + 1 >= pts.size()) {
+        result.unbounded = true;
+        return result;
+    }
+
+    // Interpolate between the last passing and the next failing point
+    // to estimate where p99 crosses the SLO.
+    const LoadPoint &bad = pts[last_ok + 1];
+    if (bad.p99Ns > ok.p99Ns && bad.achievedRps > ok.achievedRps) {
+        const double f = (slo_ns - ok.p99Ns) / (bad.p99Ns - ok.p99Ns);
+        result.throughputRps =
+            ok.achievedRps + f * (bad.achievedRps - ok.achievedRps);
+        result.p99Ns = slo_ns;
+    }
+    return result;
+}
+
+std::string
+formatSloTable(const std::string &title, const std::vector<Series> &series,
+               double slo_ns, std::size_t baseline_index)
+{
+    RV_ASSERT(baseline_index < series.size(), "baseline index out of range");
+    const SloResult base =
+        throughputUnderSlo(series[baseline_index], slo_ns);
+
+    std::string out = title + "\n";
+    out += sim::strfmt("SLO: p99 <= %.2f us\n", slo_ns / 1e3);
+    out += sim::strfmt("%-16s %20s %14s %10s\n", "config",
+                       "tput@SLO (Mrps)", "p99@pt (us)", "vs base");
+    for (const auto &s : series) {
+        const SloResult r = throughputUnderSlo(s, slo_ns);
+        std::string ratio = "-";
+        if (r.met && base.met && base.throughputRps > 0.0) {
+            ratio = sim::strfmt("%.2fx",
+                                r.throughputRps / base.throughputRps);
+        }
+        out += sim::strfmt("%-16s %20.3f %14.3f %10s%s\n", s.label.c_str(),
+                           r.met ? r.throughputRps / 1e6 : 0.0,
+                           r.met ? r.p99Ns / 1e3 : 0.0, ratio.c_str(),
+                           r.met ? "" : "   (SLO never met)");
+    }
+    return out;
+}
+
+} // namespace rpcvalet::stats

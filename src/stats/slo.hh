@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Throughput-under-SLO analysis.
+ *
+ * The paper's headline metric is "throughput under SLO": the maximum
+ * load a configuration sustains while its 99th-percentile latency stays
+ * below a bound (10x the mean service time in §5/§6). Given a measured
+ * (throughput, p99) series this module finds that operating point.
+ */
+
+#ifndef RPCVALET_STATS_SLO_HH
+#define RPCVALET_STATS_SLO_HH
+
+#include "stats/series.hh"
+
+namespace rpcvalet::stats {
+
+/** Result of a throughput-under-SLO query. */
+struct SloResult
+{
+    /** Max achieved throughput with p99 <= slo, rps. 0 if never met. */
+    double throughputRps = 0.0;
+    /** p99 at that operating point, ns. */
+    double p99Ns = 0.0;
+    /** True if at least one point met the SLO. */
+    bool met = false;
+    /** True if every point met the SLO (bound not observed). */
+    bool unbounded = false;
+};
+
+/**
+ * Scan a series (ordered by offered load) for the last point meeting
+ * p99 <= @p slo_ns, linearly interpolating the crossing between the
+ * last passing and first failing point for a smoother estimate.
+ */
+SloResult throughputUnderSlo(const Series &series, double slo_ns);
+
+/**
+ * Format a summary comparison table: one row per series with its
+ * throughput under SLO and the ratio against a baseline row.
+ *
+ * @param baseline_index Which series the ratio column normalizes to.
+ */
+std::string formatSloTable(const std::string &title,
+                           const std::vector<Series> &series,
+                           double slo_ns, std::size_t baseline_index = 0);
+
+} // namespace rpcvalet::stats
+
+#endif // RPCVALET_STATS_SLO_HH

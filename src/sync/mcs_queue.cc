@@ -1,0 +1,64 @@
+#include "sync/mcs_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::sync {
+
+SoftwareSharedQueue::SoftwareSharedQueue(sim::Simulator &sim,
+                                         McsParams params)
+    : sim_(sim), params_(params)
+{
+}
+
+void
+SoftwareSharedQueue::push(proto::CompletionQueueEntry entry)
+{
+    entries_.push_back(std::move(entry));
+    tryMatch();
+}
+
+void
+SoftwareSharedQueue::requestPull(PullCallback cb)
+{
+    RV_ASSERT(cb != nullptr, "null pull callback");
+    waiters_.push_back(std::move(cb));
+    tryMatch();
+}
+
+void
+SoftwareSharedQueue::tryMatch()
+{
+    // Grant (entry, waiter) pairs through the lock in FIFO order. Each
+    // grant reserves the lock for acquire/handoff + critical section;
+    // back-to-back grants pipeline at handoff + cs, which is the MCS
+    // serialization bottleneck the paper's §6.2 software curve shows.
+    while (!entries_.empty() && !waiters_.empty()) {
+        const sim::Tick now = sim_.now();
+        const bool contended = lockFreeAt_ > now;
+        const sim::Tick start = contended ? lockFreeAt_ : now;
+        const sim::Tick entry_cost =
+            contended ? params_.handoff : params_.uncontendedAcquire;
+        const sim::Tick done = start + entry_cost + params_.criticalSection;
+
+        lockBusy_ += done - start;
+        lockFreeAt_ = done;
+        ++pulls_;
+        if (contended)
+            ++contendedPulls_;
+
+        // Entry and waiter are logically consumed at grant completion,
+        // but removed from the FIFOs now to keep ordering decisions
+        // simple; the callback fires at `done`.
+        proto::CompletionQueueEntry entry = std::move(entries_.front());
+        entries_.pop_front();
+        PullCallback cb = std::move(waiters_.front());
+        waiters_.pop_front();
+
+        sim_.scheduleAt(done, [cb = std::move(cb),
+                               entry = std::move(entry)] { cb(entry); });
+    }
+}
+
+} // namespace rpcvalet::sync

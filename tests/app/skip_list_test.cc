@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit and property tests for the ordered skip list.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "app/skip_list.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using rpcvalet::app::SkipList;
+
+std::vector<std::uint8_t>
+val(std::uint8_t b)
+{
+    return std::vector<std::uint8_t>{b, b};
+}
+
+TEST(SkipList, InsertFindRoundTrip)
+{
+    SkipList s;
+    EXPECT_TRUE(s.insert(10, val(1)));
+    const auto got = s.find(10);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, val(1));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SkipList, MissingKeyNotFound)
+{
+    SkipList s;
+    s.insert(10, val(1));
+    EXPECT_FALSE(s.find(11).has_value());
+    EXPECT_FALSE(s.find(9).has_value());
+}
+
+TEST(SkipList, OverwriteKeepsSingleEntry)
+{
+    SkipList s;
+    EXPECT_TRUE(s.insert(5, val(1)));
+    EXPECT_FALSE(s.insert(5, val(2)));
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(*s.find(5), val(2));
+}
+
+TEST(SkipList, EraseRemovesKey)
+{
+    SkipList s;
+    s.insert(3, val(1));
+    s.insert(4, val(2));
+    EXPECT_TRUE(s.erase(3));
+    EXPECT_FALSE(s.find(3).has_value());
+    EXPECT_TRUE(s.find(4).has_value());
+    EXPECT_FALSE(s.erase(3));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SkipList, ScanReturnsConsecutiveOrderedKeys)
+{
+    SkipList s;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        s.insert(k * 10, val(static_cast<std::uint8_t>(k)));
+    const auto out = s.scan(250, 5);
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out[0].first, 250u);
+    EXPECT_EQ(out[4].first, 290u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_GT(out[i].first, out[i - 1].first);
+}
+
+TEST(SkipList, ScanStartsAtNextKeyWhenStartAbsent)
+{
+    SkipList s;
+    s.insert(10, val(1));
+    s.insert(20, val(2));
+    s.insert(30, val(3));
+    const auto out = s.scan(15, 10);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].first, 20u);
+    EXPECT_EQ(out[1].first, 30u);
+}
+
+TEST(SkipList, ScanPastEndTruncates)
+{
+    SkipList s;
+    s.insert(1, val(1));
+    EXPECT_TRUE(s.scan(2, 5).empty());
+    EXPECT_EQ(s.scan(0, 5).size(), 1u);
+}
+
+TEST(SkipList, MinKeyTracksSmallest)
+{
+    SkipList s;
+    EXPECT_FALSE(s.minKey().has_value());
+    s.insert(50, val(1));
+    s.insert(20, val(2));
+    EXPECT_EQ(*s.minKey(), 20u);
+    s.erase(20);
+    EXPECT_EQ(*s.minKey(), 50u);
+}
+
+TEST(SkipList, InsertDescendingThenScanAscends)
+{
+    SkipList s;
+    for (std::uint64_t k = 100; k > 0; --k)
+        s.insert(k, val(1));
+    const auto out = s.scan(0, 200);
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(out[i].first, i + 1);
+}
+
+TEST(SkipList, MatchesReferenceMapUnderRandomOps)
+{
+    SkipList s;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> oracle;
+    rpcvalet::sim::Rng rng(7);
+    for (int i = 0; i < 30000; ++i) {
+        const std::uint64_t key = rng.uniformInt(0, 299);
+        const int op = static_cast<int>(rng.uniformInt(0, 3));
+        if (op == 0) {
+            auto v = val(static_cast<std::uint8_t>(i));
+            s.insert(key, v);
+            oracle[key] = v;
+        } else if (op == 1) {
+            const auto got = s.find(key);
+            const auto ref = oracle.find(key);
+            if (ref == oracle.end()) {
+                EXPECT_FALSE(got.has_value());
+            } else {
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(*got, ref->second);
+            }
+        } else if (op == 2) {
+            EXPECT_EQ(s.erase(key), oracle.erase(key) > 0);
+        } else {
+            // Compare a short scan against the oracle's range.
+            const auto got = s.scan(key, 5);
+            auto it = oracle.lower_bound(key);
+            std::size_t idx = 0;
+            while (it != oracle.end() && idx < got.size()) {
+                EXPECT_EQ(got[idx].first, it->first);
+                EXPECT_EQ(got[idx].second, it->second);
+                ++it;
+                ++idx;
+            }
+            EXPECT_TRUE(idx == 5 || it == oracle.end());
+        }
+        ASSERT_EQ(s.size(), oracle.size());
+    }
+}
+
+TEST(SkipList, LevelStaysLogarithmic)
+{
+    SkipList s;
+    for (std::uint64_t k = 0; k < 100000; ++k)
+        s.insert(k, {});
+    EXPECT_LE(s.level(), 20);
+    EXPECT_GE(s.level(), 10);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the RPC wire format codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/wire_format.hh"
+
+namespace {
+
+using namespace rpcvalet::app;
+
+TEST(WireFormat, RequestRoundTrip)
+{
+    RpcRequest req;
+    req.op = RpcOp::Put;
+    req.key = 0xDEADBEEFCAFEF00DULL;
+    req.count = 42;
+    req.value = {1, 2, 3, 4, 5};
+    const auto bytes = encodeRequest(req);
+    EXPECT_EQ(bytes.size(), requestHeaderBytes + 5);
+    const auto back = decodeRequest(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->op, RpcOp::Put);
+    EXPECT_EQ(back->key, req.key);
+    EXPECT_EQ(back->count, 42u);
+    EXPECT_EQ(back->value, req.value);
+}
+
+TEST(WireFormat, RequestRoundTripEmptyValue)
+{
+    RpcRequest req;
+    req.op = RpcOp::Get;
+    req.key = 7;
+    const auto back = decodeRequest(encodeRequest(req));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->op, RpcOp::Get);
+    EXPECT_EQ(back->key, 7u);
+    EXPECT_TRUE(back->value.empty());
+}
+
+TEST(WireFormat, ReplyRoundTrip)
+{
+    RpcReply reply;
+    reply.status = RpcStatus::NotFound;
+    reply.value = {9, 8, 7};
+    const auto back = decodeReply(encodeReply(reply));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->status, RpcStatus::NotFound);
+    EXPECT_EQ(back->value, reply.value);
+}
+
+TEST(WireFormat, TruncatedRequestRejected)
+{
+    RpcRequest req;
+    req.op = RpcOp::Get;
+    auto bytes = encodeRequest(req);
+    bytes.resize(requestHeaderBytes - 1);
+    EXPECT_FALSE(decodeRequest(bytes).has_value());
+}
+
+TEST(WireFormat, ValueLengthBeyondBufferRejected)
+{
+    RpcRequest req;
+    req.op = RpcOp::Put;
+    req.value = {1, 2, 3};
+    auto bytes = encodeRequest(req);
+    bytes.resize(bytes.size() - 1); // chop one value byte
+    EXPECT_FALSE(decodeRequest(bytes).has_value());
+}
+
+TEST(WireFormat, UnknownOpRejected)
+{
+    RpcRequest req;
+    req.op = RpcOp::Get;
+    auto bytes = encodeRequest(req);
+    bytes[0] = 99;
+    EXPECT_FALSE(decodeRequest(bytes).has_value());
+}
+
+TEST(WireFormat, UnknownStatusRejected)
+{
+    RpcReply reply;
+    auto bytes = encodeReply(reply);
+    bytes[0] = 50;
+    EXPECT_FALSE(decodeReply(bytes).has_value());
+}
+
+TEST(WireFormat, EmptyBufferRejected)
+{
+    EXPECT_FALSE(decodeRequest({}).has_value());
+    EXPECT_FALSE(decodeReply({}).has_value());
+}
+
+TEST(WireFormat, KeyEncodingIsLittleEndian)
+{
+    RpcRequest req;
+    req.op = RpcOp::Get;
+    req.key = 0x0102030405060708ULL;
+    const auto bytes = encodeRequest(req);
+    EXPECT_EQ(bytes[1], 0x08);
+    EXPECT_EQ(bytes[8], 0x01);
+}
+
+} // namespace

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * End-to-end integration tests of the full system through the public
+ * Experiment API: functional correctness (every reply verified),
+ * conservation laws, determinism, and the paper's qualitative
+ * load-balancing results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/herd_app.hh"
+#include "app/masstree_app.hh"
+#include "app/synthetic_app.hh"
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace rpcvalet;
+using core::ExperimentConfig;
+using core::RunStats;
+using core::runExperiment;
+
+ExperimentConfig
+smallConfig(ni::DispatchMode mode, double arrival_rps)
+{
+    ExperimentConfig cfg;
+    cfg.system.mode = mode;
+    cfg.system.seed = 12345;
+    cfg.arrivalRps = arrival_rps;
+    cfg.warmupRpcs = 2000;
+    cfg.measuredRpcs = 20000;
+    return cfg;
+}
+
+TEST(Experiment, HerdModerateLoadCompletesAndVerifies)
+{
+    app::HerdApp app;
+    const RunStats r =
+        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 10e6),
+                      app);
+    EXPECT_EQ(r.completions, 22000u);
+    EXPECT_EQ(r.verifyFailures, 0u);
+    EXPECT_EQ(r.point.samples, 20000u);
+    // At ~35% load the achieved throughput tracks the offered rate.
+    EXPECT_NEAR(r.point.achievedRps, 10e6, 10e6 * 0.05);
+    EXPECT_GT(r.point.p99Ns, 0.0);
+}
+
+TEST(Experiment, MeasuredServiceTimeMatchesCalibration)
+{
+    // §6.1: HERD's measured mean service time is ~550 ns (330 ns mean
+    // processing + ~220 ns loop overhead).
+    app::HerdApp app;
+    const RunStats r =
+        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 5e6),
+                      app);
+    EXPECT_GT(r.meanServiceNs, 500.0);
+    EXPECT_LT(r.meanServiceNs, 610.0);
+}
+
+TEST(Experiment, LowLoadLatencyIsUnqueuedLatency)
+{
+    // At very low load an RPC's latency is just the protocol path +
+    // service time: well under 1.5x S-bar, and p99 close to mean.
+    app::HerdApp app;
+    const RunStats r =
+        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 1e6),
+                      app);
+    EXPECT_LT(r.point.meanNs, 1.5 * r.meanServiceNs);
+    EXPECT_LT(r.point.p99Ns, 3.0 * r.meanServiceNs);
+}
+
+class ExperimentAllModes
+    : public ::testing::TestWithParam<ni::DispatchMode>
+{
+};
+
+TEST_P(ExperimentAllModes, RepliesVerifyAndThroughputTracksOffered)
+{
+    app::HerdApp app;
+    const RunStats r = runExperiment(smallConfig(GetParam(), 8e6), app);
+    EXPECT_EQ(r.verifyFailures, 0u);
+    EXPECT_EQ(r.completions, 22000u);
+    EXPECT_NEAR(r.point.achievedRps, 8e6, 8e6 * 0.06);
+}
+
+TEST_P(ExperimentAllModes, DeterministicForSameSeed)
+{
+    auto run_once = [&] {
+        app::HerdApp app;
+        return runExperiment(smallConfig(GetParam(), 12e6), app);
+    };
+    const RunStats a = run_once();
+    const RunStats b = run_once();
+    EXPECT_DOUBLE_EQ(a.point.p99Ns, b.point.p99Ns);
+    EXPECT_DOUBLE_EQ(a.point.meanNs, b.point.meanNs);
+    EXPECT_DOUBLE_EQ(a.simulatedUs, b.simulatedUs);
+    EXPECT_EQ(a.perCoreServed, b.perCoreServed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ExperimentAllModes,
+    ::testing::Values(ni::DispatchMode::SingleQueue,
+                      ni::DispatchMode::PerBackendGroup,
+                      ni::DispatchMode::StaticHash,
+                      ni::DispatchMode::SoftwarePull),
+    [](const auto &info) {
+        // gtest test names must be alphanumeric/underscore.
+        std::string name = ni::dispatchModeName(info.param);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Experiment, SingleQueueBalancesLoadAcrossCores)
+{
+    app::HerdApp app;
+    const RunStats r =
+        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 20e6),
+                      app);
+    // With 22k RPCs over 16 cores, RPCValet's single queue keeps
+    // per-core counts within a tight band of the mean.
+    const double mean = 22000.0 / 16.0;
+    for (const auto served : r.perCoreServed) {
+        EXPECT_GT(static_cast<double>(served), mean * 0.8);
+        EXPECT_LT(static_cast<double>(served), mean * 1.2);
+    }
+}
+
+TEST(Experiment, TailOrderingAcrossHardwareModes)
+{
+    // Fig. 7: p99(1x16) <= p99(4x4) <= p99(16x1) under high load with
+    // a variable service-time workload.
+    auto p99_of = [&](ni::DispatchMode mode) {
+        app::SyntheticApp app(sim::SyntheticKind::Gev);
+        ExperimentConfig cfg = smallConfig(mode, 14e6);
+        cfg.measuredRpcs = 40000;
+        return runExperiment(cfg, app).point.p99Ns;
+    };
+    const double single = p99_of(ni::DispatchMode::SingleQueue);
+    const double grouped = p99_of(ni::DispatchMode::PerBackendGroup);
+    const double partitioned = p99_of(ni::DispatchMode::StaticHash);
+    EXPECT_LT(single, grouped);
+    EXPECT_LT(grouped, partitioned);
+}
+
+TEST(Experiment, SoftwareQueueSaturatesBeforeHardware)
+{
+    // §6.2: the MCS-locked software queue serializes dequeues; at an
+    // offered load beyond its lock capacity it cannot keep up, while
+    // hardware 1x16 can.
+    auto achieved = [&](ni::DispatchMode mode) {
+        app::SyntheticApp app(sim::SyntheticKind::Exponential);
+        ExperimentConfig cfg = smallConfig(mode, 10e6);
+        cfg.measuredRpcs = 30000;
+        return runExperiment(cfg, app).point.achievedRps;
+    };
+    const double hw = achieved(ni::DispatchMode::SingleQueue);
+    const double sw = achieved(ni::DispatchMode::SoftwarePull);
+    EXPECT_NEAR(hw, 10e6, 10e6 * 0.05); // hardware keeps up
+    EXPECT_LT(sw, 9e6);                 // software lock saturates
+}
+
+TEST(Experiment, OverloadCapsAtCoreCapacity)
+{
+    app::HerdApp app;
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 80e6);
+    cfg.measuredRpcs = 40000;
+    const RunStats r = runExperiment(cfg, app);
+    // Capacity = 16 cores / S-bar. Achieved must cap there (+/-7%).
+    const double capacity = 16.0 / (r.meanServiceNs * 1e-9);
+    EXPECT_LT(r.point.achievedRps, capacity * 1.07);
+    EXPECT_GT(r.point.achievedRps, capacity * 0.85);
+    // Flow control must have engaged rather than unbounded queueing.
+    EXPECT_GT(r.flowControlDeferrals, 0u);
+}
+
+TEST(Experiment, MasstreeScansAreServedButNotLatencyCritical)
+{
+    app::MasstreeApp app;
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 2e6);
+    cfg.warmupRpcs = 500;
+    cfg.measuredRpcs = 10000;
+    const RunStats r = runExperiment(cfg, app);
+    EXPECT_EQ(r.verifyFailures, 0u);
+    // ~1% scans: critical completions < all completions.
+    EXPECT_LT(r.criticalCompletions, r.completions);
+    EXPECT_GT(r.criticalCompletions,
+              static_cast<std::uint64_t>(0.97 * 10500));
+}
+
+TEST(Experiment, MasstreeSingleQueueShieldsGetsFromScans)
+{
+    // §6.1/Fig. 7b: occupancy feedback steers gets away from cores
+    // busy with 60-120 us scans; static hashing queues gets behind
+    // them, inflating the get p99 by an order of magnitude.
+    auto p99_of = [&](ni::DispatchMode mode) {
+        app::MasstreeApp app;
+        ExperimentConfig cfg = smallConfig(mode, 2e6);
+        cfg.warmupRpcs = 500;
+        cfg.measuredRpcs = 15000;
+        return runExperiment(cfg, app).point.p99Ns;
+    };
+    const double single = p99_of(ni::DispatchMode::SingleQueue);
+    const double partitioned = p99_of(ni::DispatchMode::StaticHash);
+    EXPECT_LT(single * 4.0, partitioned);
+}
+
+TEST(Experiment, SweepRunsAllPointsAndOrdersSeries)
+{
+    core::SweepConfig sweep;
+    sweep.base = smallConfig(ni::DispatchMode::SingleQueue, 0.0);
+    sweep.base.warmupRpcs = 500;
+    sweep.base.measuredRpcs = 5000;
+    sweep.arrivalRates = {2e6, 6e6, 12e6};
+    sweep.appFactory = [] { return std::make_unique<app::HerdApp>(); };
+    sweep.label = "1x16";
+    const core::SweepResult result = core::runSweep(sweep);
+    ASSERT_EQ(result.series.points.size(), 3u);
+    ASSERT_EQ(result.runs.size(), 3u);
+    EXPECT_DOUBLE_EQ(result.series.points[0].offeredRps, 2e6);
+    EXPECT_DOUBLE_EQ(result.series.points[2].offeredRps, 12e6);
+    EXPECT_GT(result.series.points[2].p99Ns,
+              result.series.points[0].p99Ns * 0.8);
+}
+
+TEST(Experiment, SweepThreadCountDoesNotChangeResults)
+{
+    core::SweepConfig sweep;
+    sweep.base = smallConfig(ni::DispatchMode::SingleQueue, 0.0);
+    sweep.base.warmupRpcs = 500;
+    sweep.base.measuredRpcs = 4000;
+    sweep.arrivalRates = {3e6, 9e6, 15e6, 20e6};
+    sweep.appFactory = [] { return std::make_unique<app::HerdApp>(); };
+    sweep.label = "1x16";
+
+    sweep.threads = 1;
+    const auto sequential = core::runSweep(sweep);
+    sweep.threads = 2;
+    const auto threaded = core::runSweep(sweep);
+    ASSERT_EQ(sequential.series.points.size(),
+              threaded.series.points.size());
+    for (size_t i = 0; i < sequential.series.points.size(); ++i) {
+        EXPECT_DOUBLE_EQ(sequential.series.points[i].p99Ns,
+                         threaded.series.points[i].p99Ns);
+    }
+}
+
+TEST(Experiment, CapacityEstimateIsReasonable)
+{
+    app::HerdApp app;
+    node::SystemParams sys;
+    const double cap = core::estimateCapacityRps(sys, app);
+    // ~16 cores / 550 ns => ~29 Mrps (the paper's HERD peak).
+    EXPECT_GT(cap, 25e6);
+    EXPECT_LT(cap, 33e6);
+}
+
+TEST(Experiment, LoadGridSpansRange)
+{
+    const auto grid = core::loadGrid(0.1, 0.9, 5);
+    ASSERT_EQ(grid.size(), 5u);
+    EXPECT_DOUBLE_EQ(grid.front(), 0.1);
+    EXPECT_DOUBLE_EQ(grid.back(), 0.9);
+    EXPECT_DOUBLE_EQ(grid[2], 0.5);
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the inter-node fabric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fabric.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace rpcvalet;
+using net::Fabric;
+using sim::Simulator;
+using sim::Tick;
+using sim::nanoseconds;
+
+proto::Packet
+packetTo(proto::NodeId dst)
+{
+    proto::Packet pkt;
+    pkt.hdr.op = proto::OpType::Send;
+    pkt.hdr.dst = dst;
+    return pkt;
+}
+
+TEST(Fabric, DeliversAfterConfiguredLatency)
+{
+    Simulator sim;
+    Fabric fabric(sim, nanoseconds(100));
+    Tick delivered_at = 0;
+    fabric.connect(0, [&](proto::Packet) { delivered_at = sim.now(); });
+    fabric.send(packetTo(0));
+    sim.run();
+    EXPECT_EQ(delivered_at, nanoseconds(100));
+    EXPECT_EQ(fabric.delivered(), 1u);
+}
+
+TEST(Fabric, RoutesBySinkRegistration)
+{
+    Simulator sim;
+    Fabric fabric(sim, nanoseconds(10));
+    int to_a = 0;
+    int to_default = 0;
+    fabric.connect(0, [&](proto::Packet) { ++to_a; });
+    fabric.connectDefault([&](proto::Packet) { ++to_default; });
+    fabric.send(packetTo(0));
+    fabric.send(packetTo(7));
+    fabric.send(packetTo(42));
+    sim.run();
+    EXPECT_EQ(to_a, 1);
+    EXPECT_EQ(to_default, 2);
+}
+
+TEST(Fabric, PreservesPerPairOrdering)
+{
+    Simulator sim;
+    Fabric fabric(sim, nanoseconds(10));
+    std::vector<std::uint32_t> seen;
+    fabric.connect(0, [&](proto::Packet pkt) {
+        seen.push_back(pkt.hdr.blockIndex);
+    });
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        proto::Packet pkt = packetTo(0);
+        pkt.hdr.blockIndex = i;
+        fabric.send(std::move(pkt));
+    }
+    sim.run();
+    ASSERT_EQ(seen.size(), 10u);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        EXPECT_EQ(seen[i], i);
+}
+
+TEST(FabricDeath, UnconnectedDestinationPanics)
+{
+    Simulator sim;
+    Fabric fabric(sim, nanoseconds(10));
+    fabric.send(packetTo(3));
+    EXPECT_DEATH(sim.run(), "unconnected node");
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the cluster traffic generator, using a miniature
+ * in-test echo server as the node under test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "app/synthetic_app.hh"
+#include "net/fabric.hh"
+#include "net/traffic_gen.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace rpcvalet;
+using net::Fabric;
+using net::TrafficGenerator;
+using sim::Simulator;
+using sim::nanoseconds;
+
+proto::MessagingDomain
+tinyDomain(std::uint32_t nodes = 4, std::uint32_t slots = 2)
+{
+    proto::MessagingDomain d;
+    d.numNodes = nodes;
+    d.slotsPerNode = slots;
+    d.maxMsgBytes = 1024;
+    return d;
+}
+
+/**
+ * Minimal node-0 stand-in: reassembles request sends, asks the app
+ * for a reply, sends it back on the mirror slot, then replenishes.
+ */
+class EchoServer
+{
+  public:
+    EchoServer(Simulator &sim, Fabric &fabric, app::RpcApplication &app,
+               sim::Tick service)
+        : sim_(sim), fabric_(fabric), app_(app), service_(service),
+          rng_(1, 0xEC0)
+    {
+        fabric_.connect(0, [this](proto::Packet pkt) {
+            onPacket(std::move(pkt));
+        });
+    }
+
+    std::uint64_t served = 0;
+
+  private:
+    void
+    onPacket(proto::Packet pkt)
+    {
+        // Reply-slot credits come back as replenishes; this bare-bones
+        // server does not track its send slots, so just absorb them.
+        if (pkt.hdr.op == proto::OpType::Replenish)
+            return;
+        ASSERT_EQ(pkt.hdr.op, proto::OpType::Send);
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(pkt.hdr.src) << 32) |
+            pkt.hdr.slot;
+        auto &got = assembly_[key];
+        got.push_back(pkt);
+        if (got.size() < pkt.hdr.totalBlocks)
+            return;
+        const auto request = proto::reassemble(got);
+        assembly_.erase(key);
+        const auto src = pkt.hdr.src;
+        const auto slot = pkt.hdr.slot;
+        sim_.schedule(service_, [this, src, slot, request] {
+            auto result = app_.handle(request, rng_);
+            for (auto &p : proto::packetize(proto::OpType::Send, 0, src,
+                                            slot, result.reply)) {
+                fabric_.send(std::move(p));
+            }
+            proto::Packet cred;
+            cred.hdr.op = proto::OpType::Replenish;
+            cred.hdr.src = 0;
+            cred.hdr.dst = src;
+            cred.hdr.slot = slot;
+            fabric_.send(std::move(cred));
+            ++served;
+        });
+    }
+
+    Simulator &sim_;
+    Fabric &fabric_;
+    app::RpcApplication &app_;
+    sim::Tick service_;
+    sim::Rng rng_;
+    std::map<std::uint64_t, std::vector<proto::Packet>> assembly_;
+};
+
+struct Harness
+{
+    Simulator sim;
+    Fabric fabric{sim, nanoseconds(50)};
+    app::SyntheticApp app{sim::SyntheticKind::Fixed};
+    proto::MessagingDomain domain;
+    std::unique_ptr<EchoServer> server;
+    std::unique_ptr<TrafficGenerator> tg;
+
+    explicit Harness(double rate_rps, sim::Tick service,
+                     std::uint32_t slots = 8)
+        : domain(tinyDomain(4, slots))
+    {
+        server =
+            std::make_unique<EchoServer>(sim, fabric, app, service);
+        TrafficGenerator::Params p;
+        p.arrivalRps = rate_rps;
+        p.targetNode = 0;
+        p.clientTurnaround = nanoseconds(50);
+        p.seed = 3;
+        tg = std::make_unique<TrafficGenerator>(sim, p, domain, app,
+                                                fabric);
+        fabric.connectDefault([this](proto::Packet pkt) {
+            tg->receivePacket(std::move(pkt));
+        });
+    }
+};
+
+TEST(TrafficGen, RequestsFlowAndRepliesVerify)
+{
+    Harness h(1e6, nanoseconds(200));
+    h.tg->start();
+    h.sim.runUntil(sim::microseconds(2000.0));
+    h.tg->halt();
+    h.sim.run();
+    EXPECT_GT(h.tg->requestsSent(), 1500u);
+    EXPECT_EQ(h.tg->repliesReceived(), h.tg->requestsSent());
+    EXPECT_EQ(h.tg->verificationFailures(), 0u);
+    EXPECT_EQ(h.tg->inFlight(), 0u);
+}
+
+TEST(TrafficGen, PerSourceSlotsNeverExceeded)
+{
+    // With 1 slot per source and a long service time, each source has
+    // at most one request in flight; excess arrivals defer.
+    Harness h(5e6, nanoseconds(5000), /*slots=*/1);
+    h.tg->start();
+    h.sim.runUntil(sim::microseconds(500.0));
+    h.tg->halt();
+    h.sim.run();
+    // 3 sources x 1 slot: in-flight never exceeded 3, and the heavy
+    // offered load must have produced deferrals.
+    EXPECT_GT(h.tg->flowControlDeferrals(), 0u);
+    EXPECT_EQ(h.tg->repliesReceived(), h.tg->requestsSent());
+    EXPECT_EQ(h.tg->verificationFailures(), 0u);
+}
+
+TEST(TrafficGen, DeferredRequestsEventuallyRun)
+{
+    Harness h(8e6, nanoseconds(1000), /*slots=*/1);
+    h.tg->start();
+    h.sim.runUntil(sim::microseconds(100.0));
+    h.tg->halt();
+    h.sim.run(); // drain: all deferred work completes
+    EXPECT_EQ(h.tg->repliesReceived(), h.tg->requestsSent());
+    EXPECT_EQ(h.tg->inFlight(), 0u);
+    EXPECT_GT(h.tg->flowControlDeferrals(), 0u);
+}
+
+TEST(TrafficGen, SourcesAreSpreadAcrossCluster)
+{
+    // Generous slot count: flow control never binds even though this
+    // test swallows requests without replying.
+    Harness h(2e6, nanoseconds(100), /*slots=*/4096);
+    std::map<proto::NodeId, int> per_src;
+    // Wrap the server's fabric sink to count request sources: easier
+    // to recount by inspecting traffic: requests arrive at node 0.
+    // (The harness already connected node 0; reconnect with counting.)
+    h.fabric.connect(0, [&](proto::Packet pkt) {
+        if (pkt.hdr.blockIndex == 0)
+            ++per_src[pkt.hdr.src];
+        // Swallow: this test only checks source spreading.
+    });
+    h.tg->start();
+    h.sim.runUntil(sim::microseconds(3000.0));
+    h.tg->halt();
+    // 3 remote sources (nodes 1..3) should each contribute ~1/3.
+    ASSERT_EQ(per_src.size(), 3u);
+    for (const auto &[src, count] : per_src) {
+        EXPECT_NE(src, 0u);
+        EXPECT_GT(count, 1500);
+    }
+}
+
+TEST(TrafficGen, HaltStopsNewRequests)
+{
+    Harness h(1e6, nanoseconds(100));
+    h.tg->start();
+    h.sim.runUntil(sim::microseconds(100.0));
+    h.tg->halt();
+    const auto sent = h.tg->requestsSent();
+    h.sim.run();
+    EXPECT_EQ(h.tg->requestsSent(), sent);
+}
+
+} // namespace

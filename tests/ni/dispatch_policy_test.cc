@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the core-selection policies (§4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ni/dispatch_policy.hh"
+
+namespace {
+
+using namespace rpcvalet;
+using ni::DispatchPolicy;
+using ni::PolicyKind;
+using ni::makePolicy;
+
+std::vector<proto::CoreId>
+allCores(std::uint32_t n)
+{
+    std::vector<proto::CoreId> out;
+    for (proto::CoreId c = 0; c < n; ++c)
+        out.push_back(c);
+    return out;
+}
+
+TEST(Greedy, PrefersIdleCore)
+{
+    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
+    sim::Rng rng(1);
+    std::vector<std::uint32_t> outstanding = {1, 1, 0, 1};
+    const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 2u);
+}
+
+TEST(Greedy, DoubleBooksOnlyWhenNoIdleCore)
+{
+    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
+    sim::Rng rng(1);
+    std::vector<std::uint32_t> outstanding = {1, 1, 1, 1};
+    const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(outstanding[*pick], 1u);
+}
+
+TEST(Greedy, ReturnsNulloptWhenAllSaturated)
+{
+    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
+    sim::Rng rng(1);
+    std::vector<std::uint32_t> outstanding = {2, 2, 2, 2};
+    EXPECT_FALSE(policy->select(outstanding, 2, allCores(4), rng));
+}
+
+TEST(Greedy, RespectsCandidateSubset)
+{
+    // A 4x4-style dispatcher only sees its group.
+    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
+    sim::Rng rng(1);
+    std::vector<std::uint32_t> outstanding(16, 0);
+    const std::vector<proto::CoreId> group = {4, 5, 6, 7};
+    for (int i = 0; i < 20; ++i) {
+        const auto pick = policy->select(outstanding, 2, group, rng);
+        ASSERT_TRUE(pick.has_value());
+        EXPECT_GE(*pick, 4u);
+        EXPECT_LE(*pick, 7u);
+        ++outstanding[*pick];
+        if (i % 3 == 0) {
+            for (auto c : group)
+                outstanding[c] = 0;
+        }
+    }
+}
+
+TEST(Greedy, TieBreakRotates)
+{
+    // All idle: consecutive picks should not all hit the same core.
+    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
+    sim::Rng rng(1);
+    std::vector<std::uint32_t> outstanding(4, 0);
+    std::set<proto::CoreId> seen;
+    for (int i = 0; i < 4; ++i) {
+        const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+        ASSERT_TRUE(pick.has_value());
+        seen.insert(*pick);
+        // Keep all cores idle so only the cursor differentiates.
+    }
+    EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(RoundRobin, CyclesThroughAvailableCores)
+{
+    auto policy = makePolicy(PolicyKind::RoundRobin);
+    sim::Rng rng(1);
+    std::vector<std::uint32_t> outstanding(4, 0);
+    std::vector<proto::CoreId> picks;
+    for (int i = 0; i < 8; ++i) {
+        const auto pick = policy->select(outstanding, 4, allCores(4), rng);
+        ASSERT_TRUE(pick.has_value());
+        picks.push_back(*pick);
+    }
+    EXPECT_EQ(picks, (std::vector<proto::CoreId>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(RoundRobin, SkipsSaturatedCores)
+{
+    auto policy = makePolicy(PolicyKind::RoundRobin);
+    sim::Rng rng(1);
+    std::vector<std::uint32_t> outstanding = {2, 0, 2, 0};
+    for (int i = 0; i < 6; ++i) {
+        const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+        ASSERT_TRUE(pick.has_value());
+        EXPECT_TRUE(*pick == 1 || *pick == 3);
+    }
+}
+
+TEST(PowerOfTwo, PicksLessLoadedOfTwo)
+{
+    auto policy = makePolicy(PolicyKind::PowerOfTwoChoices);
+    sim::Rng rng(7);
+    // One heavily loaded core: po2c should avoid it most of the time.
+    std::vector<std::uint32_t> outstanding = {1, 0, 0, 0};
+    int hit_loaded = 0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+        ASSERT_TRUE(pick.has_value());
+        hit_loaded += (*pick == 0);
+    }
+    // Core 0 is picked only when both samples land on it: p = 1/16.
+    EXPECT_LT(hit_loaded, n / 8);
+}
+
+TEST(PowerOfTwo, FallsBackToScanWhenSamplesSaturated)
+{
+    auto policy = makePolicy(PolicyKind::PowerOfTwoChoices);
+    sim::Rng rng(7);
+    std::vector<std::uint32_t> outstanding = {2, 2, 2, 0};
+    for (int i = 0; i < 50; ++i) {
+        const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+        ASSERT_TRUE(pick.has_value());
+        EXPECT_EQ(*pick, 3u);
+    }
+}
+
+TEST(PolicyNames, AllNamed)
+{
+    EXPECT_EQ(makePolicy(PolicyKind::GreedyLeastLoaded)->name(), "greedy");
+    EXPECT_EQ(makePolicy(PolicyKind::RoundRobin)->name(), "round-robin");
+    EXPECT_EQ(makePolicy(PolicyKind::PowerOfTwoChoices)->name(), "po2c");
+    EXPECT_EQ(ni::policyKindName(PolicyKind::GreedyLeastLoaded), "greedy");
+}
+
+TEST(ModeNames, MatchPaperNotation)
+{
+    EXPECT_EQ(ni::dispatchModeName(ni::DispatchMode::SingleQueue), "1x16");
+    EXPECT_EQ(ni::dispatchModeName(ni::DispatchMode::PerBackendGroup),
+              "4x4");
+    EXPECT_EQ(ni::dispatchModeName(ni::DispatchMode::StaticHash), "16x1");
+    EXPECT_EQ(ni::dispatchModeName(ni::DispatchMode::SoftwarePull),
+              "sw-1x16");
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for messaging-domain geometry (§4.2 buffer provisioning).
+ */
+
+#include <gtest/gtest.h>
+
+#include "proto/messaging.hh"
+
+namespace {
+
+using rpcvalet::proto::MessagingDomain;
+
+TEST(MessagingDomain, SlotIndexIsBijective)
+{
+    MessagingDomain d;
+    d.numNodes = 5;
+    d.slotsPerNode = 3;
+    for (std::uint32_t n = 0; n < d.numNodes; ++n) {
+        for (std::uint32_t s = 0; s < d.slotsPerNode; ++s) {
+            const auto idx = d.slotIndex(n, s);
+            EXPECT_EQ(d.slotSource(idx), n);
+            EXPECT_EQ(d.slotOffset(idx), s);
+        }
+    }
+}
+
+TEST(MessagingDomain, SlotIndicesAreDense)
+{
+    MessagingDomain d;
+    d.numNodes = 4;
+    d.slotsPerNode = 8;
+    std::vector<bool> seen(d.totalSlots(), false);
+    for (std::uint32_t n = 0; n < d.numNodes; ++n)
+        for (std::uint32_t s = 0; s < d.slotsPerNode; ++s)
+            seen[d.slotIndex(n, s)] = true;
+    for (bool b : seen)
+        EXPECT_TRUE(b);
+}
+
+TEST(MessagingDomain, FootprintFormulaMatchesPaper)
+{
+    // §4.2: 32*N*S + (max_msg_size + 64)*N*S.
+    MessagingDomain d;
+    d.numNodes = 200;
+    d.slotsPerNode = 32;
+    d.maxMsgBytes = 2048;
+    EXPECT_EQ(d.sendBufferBytes(), 32ULL * 200 * 32);
+    EXPECT_EQ(d.recvBufferBytes(), (2048ULL + 64) * 200 * 32);
+    EXPECT_EQ(d.footprintBytes(),
+              d.sendBufferBytes() + d.recvBufferBytes());
+    // "should not exceed a few tens of MBs"
+    EXPECT_LT(d.footprintBytes(), 32ULL << 20);
+}
+
+TEST(MessagingDomain, ValidateAcceptsDefaults)
+{
+    MessagingDomain d;
+    d.validate();
+    SUCCEED();
+}
+
+TEST(MessagingDomainDeath, RejectsSingleNode)
+{
+    MessagingDomain d;
+    d.numNodes = 1;
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "two nodes");
+}
+
+TEST(MessagingDomainDeath, RejectsZeroSlots)
+{
+    MessagingDomain d;
+    d.slotsPerNode = 0;
+    EXPECT_EXIT(d.validate(), ::testing::ExitedWithCode(1), "slot");
+}
+
+TEST(MessagingDomainDeath, OutOfRangeSlotIndexPanics)
+{
+    MessagingDomain d;
+    d.numNodes = 4;
+    d.slotsPerNode = 2;
+    EXPECT_DEATH((void)d.slotIndex(4, 0), "out of domain");
+    EXPECT_DEATH((void)d.slotIndex(0, 2), "slot out of range");
+    EXPECT_DEATH((void)d.slotSource(8), "out of range");
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for queue-pair entry types and the Fifo wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "proto/qp.hh"
+
+namespace {
+
+using rpcvalet::proto::CompletionQueueEntry;
+using rpcvalet::proto::Fifo;
+using rpcvalet::proto::WorkQueueEntry;
+
+TEST(Fifo, StartsEmpty)
+{
+    Fifo<int> f;
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.size(), 0u);
+    EXPECT_EQ(f.highWatermark(), 0u);
+}
+
+TEST(Fifo, PushPopIsFifoOrdered)
+{
+    Fifo<int> f;
+    for (int i = 0; i < 10; ++i)
+        f.push(i);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(f.pop(), i);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, FrontPeeksWithoutRemoving)
+{
+    Fifo<int> f;
+    f.push(7);
+    f.push(8);
+    EXPECT_EQ(f.front(), 7);
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_EQ(f.pop(), 7);
+    EXPECT_EQ(f.front(), 8);
+}
+
+TEST(Fifo, HighWatermarkTracksPeakOccupancy)
+{
+    Fifo<int> f;
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    f.pop();
+    f.pop();
+    f.push(4);
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_EQ(f.highWatermark(), 3u);
+}
+
+TEST(Fifo, MoveOnlyPayloadsSupported)
+{
+    Fifo<std::unique_ptr<int>> f;
+    f.push(std::make_unique<int>(42));
+    auto out = f.pop();
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, 42);
+}
+
+TEST(QpEntries, DefaultsAreSane)
+{
+    const WorkQueueEntry wqe;
+    EXPECT_EQ(wqe.op, rpcvalet::proto::OpType::Send);
+    EXPECT_TRUE(wqe.payload.empty());
+
+    const CompletionQueueEntry cqe;
+    EXPECT_EQ(cqe.slotIndex, 0u);
+    EXPECT_EQ(cqe.firstPacketTick, 0u);
+    EXPECT_EQ(cqe.completionTick, 0u);
+    EXPECT_EQ(cqe.deliveredTick, 0u);
+}
+
+TEST(QpEntries, CqeTimestampsOrderAlongPipeline)
+{
+    CompletionQueueEntry cqe;
+    cqe.firstPacketTick = 100;
+    cqe.completionTick = 130;
+    cqe.deliveredTick = 150;
+    EXPECT_LE(cqe.firstPacketTick, cqe.completionTick);
+    EXPECT_LE(cqe.completionTick, cqe.deliveredTick);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the fixed-bin histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+
+namespace {
+
+using rpcvalet::stats::Histogram;
+
+TEST(Histogram, BinsValuesCorrectly)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.add(5.0);   // bin 0
+    h.add(15.0);  // bin 1
+    h.add(95.0);  // bin 9
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.add(-5.0);
+    h.add(150.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, BinBoundaryGoesToUpperBin)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.add(10.0); // exactly at bin 0/1 boundary -> bin 1
+    EXPECT_EQ(h.binCount(0), 0u);
+    EXPECT_EQ(h.binCount(1), 1u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 100.0, 10);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 5.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(9), 95.0);
+}
+
+TEST(Histogram, DensityIntegratesToOne)
+{
+    Histogram h(0.0, 1000.0, 50);
+    rpcvalet::sim::Rng rng(1);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.uniformRange(0.0, 1000.0));
+    double integral = 0.0;
+    for (size_t i = 0; i < h.bins(); ++i)
+        integral += h.density(i) * (1000.0 / 50.0);
+    EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, MeanTracksInputs)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(2.0);
+    h.add(4.0);
+    h.add(6.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, FractionSumsToOne)
+{
+    Histogram h(0.0, 100.0, 4);
+    for (int i = 0; i < 1000; ++i)
+        h.add(static_cast<double>(i % 100));
+    double total = 0.0;
+    for (size_t i = 0; i < h.bins(); ++i)
+        total += h.fraction(i);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, AsciiPlotNonEmptyWithData)
+{
+    Histogram h(0.0, 100.0, 20);
+    for (int i = 0; i < 100; ++i)
+        h.add(50.0);
+    const std::string plot = h.asciiPlot(10, 40);
+    EXPECT_FALSE(plot.empty());
+    EXPECT_NE(plot.find('#'), std::string::npos);
+}
+
+TEST(Histogram, AsciiPlotEmptyWithoutData)
+{
+    Histogram h(0.0, 100.0, 20);
+    EXPECT_TRUE(h.asciiPlot().empty());
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for throughput-under-SLO analysis and series formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/series.hh"
+#include "stats/slo.hh"
+
+namespace {
+
+using rpcvalet::stats::LoadPoint;
+using rpcvalet::stats::Series;
+using rpcvalet::stats::SloResult;
+using rpcvalet::stats::throughputUnderSlo;
+
+Series
+makeSeries(std::initializer_list<std::pair<double, double>> pts)
+{
+    Series s;
+    s.label = "test";
+    for (const auto &[rps, p99] : pts) {
+        LoadPoint p;
+        p.offeredRps = rps;
+        p.achievedRps = rps;
+        p.p99Ns = p99;
+        s.points.push_back(p);
+    }
+    return s;
+}
+
+TEST(Slo, EmptySeriesNeverMeets)
+{
+    Series s;
+    const SloResult r = throughputUnderSlo(s, 1000.0);
+    EXPECT_FALSE(r.met);
+    EXPECT_DOUBLE_EQ(r.throughputRps, 0.0);
+}
+
+TEST(Slo, AllPointsUnderSloIsUnbounded)
+{
+    const auto s = makeSeries({{1e6, 100.0}, {2e6, 200.0}, {3e6, 400.0}});
+    const SloResult r = throughputUnderSlo(s, 1000.0);
+    EXPECT_TRUE(r.met);
+    EXPECT_TRUE(r.unbounded);
+    EXPECT_DOUBLE_EQ(r.throughputRps, 3e6);
+}
+
+TEST(Slo, NoPointUnderSlo)
+{
+    const auto s = makeSeries({{1e6, 5000.0}, {2e6, 9000.0}});
+    const SloResult r = throughputUnderSlo(s, 1000.0);
+    EXPECT_FALSE(r.met);
+}
+
+TEST(Slo, InterpolatesCrossing)
+{
+    // p99 crosses 1000 ns between 2 Mrps (500 ns) and 3 Mrps (1500 ns):
+    // fraction = (1000-500)/(1500-500) = 0.5 -> 2.5 Mrps.
+    const auto s =
+        makeSeries({{1e6, 200.0}, {2e6, 500.0}, {3e6, 1500.0}});
+    const SloResult r = throughputUnderSlo(s, 1000.0);
+    EXPECT_TRUE(r.met);
+    EXPECT_FALSE(r.unbounded);
+    EXPECT_NEAR(r.throughputRps, 2.5e6, 1.0);
+    EXPECT_DOUBLE_EQ(r.p99Ns, 1000.0);
+}
+
+TEST(Slo, ExactlyAtSloCounts)
+{
+    const auto s = makeSeries({{1e6, 1000.0}, {2e6, 2000.0}});
+    const SloResult r = throughputUnderSlo(s, 1000.0);
+    EXPECT_TRUE(r.met);
+    EXPECT_GE(r.throughputRps, 1e6);
+}
+
+TEST(Slo, NoisyTailUsesLastCompliantPoint)
+{
+    // A dip back under the SLO after a violation: the scan takes the
+    // last compliant point (3 Mrps here).
+    const auto s = makeSeries(
+        {{1e6, 500.0}, {2e6, 1200.0}, {3e6, 900.0}, {4e6, 5000.0}});
+    const SloResult r = throughputUnderSlo(s, 1000.0);
+    EXPECT_TRUE(r.met);
+    EXPECT_GE(r.throughputRps, 3e6);
+}
+
+TEST(Slo, TableFormatsRatios)
+{
+    std::vector<Series> all;
+    all.push_back(makeSeries({{1e6, 100.0}, {2e6, 2000.0}}));
+    all[0].label = "16x1";
+    all.push_back(makeSeries({{1e6, 100.0}, {3e6, 800.0}, {4e6, 3000.0}}));
+    all[1].label = "1x16";
+    const std::string table =
+        rpcvalet::stats::formatSloTable("Test", all, 1000.0, 0);
+    EXPECT_NE(table.find("16x1"), std::string::npos);
+    EXPECT_NE(table.find("1x16"), std::string::npos);
+    EXPECT_NE(table.find("1.00x"), std::string::npos);
+}
+
+TEST(Series, CsvHasHeaderAndRows)
+{
+    std::vector<Series> all;
+    all.push_back(makeSeries({{1e6, 100.0}}));
+    const std::string csv = rpcvalet::stats::formatSeriesCsv(all);
+    EXPECT_NE(csv.find("series,offered_rps"), std::string::npos);
+    EXPECT_NE(csv.find("test,"), std::string::npos);
+}
+
+TEST(Series, TableContainsTitleAndLabels)
+{
+    std::vector<Series> all;
+    all.push_back(makeSeries({{1e6, 100.0}}));
+    all[0].label = "model-a";
+    const std::string t =
+        rpcvalet::stats::formatSeriesTable("Figure X", all, true);
+    EXPECT_NE(t.find("Figure X"), std::string::npos);
+    EXPECT_NE(t.find("model-a"), std::string::npos);
+}
+
+} // namespace
