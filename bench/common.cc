@@ -23,16 +23,16 @@ parseArgs(int argc, char **argv)
             return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
                                                   : nullptr;
         };
-        if (const char *v = value("--points="))
-            args.points = static_cast<std::size_t>(std::atoll(v));
-        else if (const char *v = value("--rpcs="))
-            args.rpcs = static_cast<std::uint64_t>(std::atoll(v));
-        else if (const char *v = value("--warmup="))
-            args.warmup = static_cast<std::uint64_t>(std::atoll(v));
-        else if (const char *v = value("--seed="))
-            args.seed = static_cast<std::uint64_t>(std::atoll(v));
-        else if (const char *v = value("--threads="))
-            args.threads = static_cast<unsigned>(std::atoi(v));
+        if (const char *points = value("--points="))
+            args.points = static_cast<std::size_t>(std::atoll(points));
+        else if (const char *rpcs = value("--rpcs="))
+            args.rpcs = static_cast<std::uint64_t>(std::atoll(rpcs));
+        else if (const char *warmup = value("--warmup="))
+            args.warmup = static_cast<std::uint64_t>(std::atoll(warmup));
+        else if (const char *seed = value("--seed="))
+            args.seed = static_cast<std::uint64_t>(std::atoll(seed));
+        else if (const char *threads = value("--threads="))
+            args.threads = static_cast<unsigned>(std::atoi(threads));
         else if (arg == "--fast")
             args.fast = true;
         else

@@ -72,8 +72,8 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     out.recvSlotPeak = node.recvSlotPeak();
     out.rendezvousRequests = tg.rendezvousRequests();
     out.preemptionYields = node.preemptionYields();
-    const auto component = [](const stats::LatencyRecorder &rec) {
-        return ComponentStats{rec.meanNs(), rec.p99Ns()};
+    const auto component = [](const stats::LatencyRecorder &r) {
+        return ComponentStats{r.meanNs(), r.p99Ns()};
     };
     const auto &bd = node.breakdown();
     out.breakdown.reassembly = component(bd.reassembly);

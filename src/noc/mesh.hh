@@ -28,7 +28,11 @@ struct Coord
     int row = 0;
     int col = 0;
 
-    bool operator==(const Coord &other) const = default;
+    bool operator==(const Coord &other) const
+    {
+        return row == other.row && col == other.col;
+    }
+    bool operator!=(const Coord &other) const { return !(*this == other); }
 };
 
 /** Geometry + timing of the on-chip mesh. */

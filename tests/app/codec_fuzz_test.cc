@@ -97,8 +97,9 @@ TEST_P(CodecFuzz, TruncationAtEveryPointRejectsOrParses)
         // A strict prefix must never decode to the original request
         // (the vlen field guards the value bytes).
         const auto back = decodeRequest(prefix);
-        if (back.has_value())
+        if (back.has_value()) {
             EXPECT_NE(back->value, req.value);
+        }
     }
 }
 

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Build-sanity smoke test: construct an Experiment end-to-end with a
+ * tiny configuration and a handful of events. This is deliberately the
+ * cheapest full-system test in the suite — if the simulator core
+ * regresses to the point of not completing a run, ctest fails loudly
+ * here before the heavier integration suites time out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/synthetic_app.hh"
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace rpcvalet;
+
+TEST(BuildSanity, TinyExperimentRunsToCompletion)
+{
+    core::ExperimentConfig cfg;
+    cfg.system.mode = ni::DispatchMode::SingleQueue;
+    cfg.system.seed = 7;
+    cfg.arrivalRps = 1e6;
+    cfg.warmupRpcs = 10;
+    cfg.measuredRpcs = 100;
+
+    app::SyntheticApp app(sim::SyntheticKind::Fixed);
+    const core::RunStats r = core::runExperiment(cfg, app);
+
+    EXPECT_EQ(r.completions, cfg.warmupRpcs + cfg.measuredRpcs);
+    EXPECT_EQ(r.point.samples, cfg.measuredRpcs);
+    EXPECT_EQ(r.verifyFailures, 0u);
+    EXPECT_GT(r.point.meanNs, 0.0);
+    EXPECT_GT(r.simulatedUs, 0.0);
+}
+
+TEST(BuildSanity, TinyExperimentIsDeterministic)
+{
+    core::ExperimentConfig cfg;
+    cfg.system.seed = 99;
+    cfg.arrivalRps = 2e6;
+    cfg.warmupRpcs = 10;
+    cfg.measuredRpcs = 50;
+
+    app::SyntheticApp a(sim::SyntheticKind::Fixed);
+    app::SyntheticApp b(sim::SyntheticKind::Fixed);
+    const core::RunStats ra = core::runExperiment(cfg, a);
+    const core::RunStats rb = core::runExperiment(cfg, b);
+
+    EXPECT_DOUBLE_EQ(ra.point.meanNs, rb.point.meanNs);
+    EXPECT_DOUBLE_EQ(ra.point.p99Ns, rb.point.p99Ns);
+    EXPECT_EQ(ra.completions, rb.completions);
+}
+
+} // namespace

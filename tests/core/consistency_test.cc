@@ -113,10 +113,10 @@ INSTANTIATE_TEST_SUITE_P(
         DrainCase{ni::DispatchMode::PerBackendGroup, 24},
         DrainCase{ni::DispatchMode::StaticHash, 24},
         DrainCase{ni::DispatchMode::SoftwarePull, 24}),
-    [](const auto &info) {
+    [](const auto &tpinfo) {
         std::string name =
-            ni::dispatchModeName(info.param.mode) + "_" +
-            std::to_string(info.param.padding);
+            ni::dispatchModeName(tpinfo.param.mode) + "_" +
+            std::to_string(tpinfo.param.padding);
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

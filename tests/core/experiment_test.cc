@@ -106,9 +106,9 @@ INSTANTIATE_TEST_SUITE_P(
                       ni::DispatchMode::PerBackendGroup,
                       ni::DispatchMode::StaticHash,
                       ni::DispatchMode::SoftwarePull),
-    [](const auto &info) {
+    [](const auto &tpinfo) {
         // gtest test names must be alphanumeric/underscore.
-        std::string name = ni::dispatchModeName(info.param);
+        std::string name = ni::dispatchModeName(tpinfo.param);
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

@@ -163,7 +163,7 @@ INSTANTIATE_TEST_SUITE_P(
         OrderingCase{"uniform", sim::SyntheticKind::Uniform},
         OrderingCase{"exponential", sim::SyntheticKind::Exponential},
         OrderingCase{"gev", sim::SyntheticKind::Gev}),
-    [](const auto &info) { return std::string(info.param.name); });
+    [](const auto &tpinfo) { return std::string(tpinfo.param.name); });
 
 TEST(QueueingModel, IntermediateConfigsLieBetweenExtremes)
 {

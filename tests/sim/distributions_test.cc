@@ -211,8 +211,8 @@ TEST_P(SyntheticProfile, SampleMeanTracksConfiguredMean)
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, SyntheticProfile,
                          ::testing::ValuesIn(allSyntheticKinds()),
-                         [](const auto &info) {
-                             return syntheticKindName(info.param);
+                         [](const auto &tpinfo) {
+                             return syntheticKindName(tpinfo.param);
                          });
 
 TEST(Synthetic, VarianceOrderingMatchesPaper)

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the error-reporting helpers in sim/logging.hh:
+ * panic() aborts, fatal() exits with status 1, warn()/inform() return,
+ * and RV_ASSERT fires with a useful message. The NDEBUG-independence
+ * of RV_ASSERT is covered separately by release_assert_test.cc, whose
+ * translation unit is force-compiled with NDEBUG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace rpcvalet;
+
+TEST(LoggingDeathTest, PanicAbortsWithMessage)
+{
+    EXPECT_DEATH(sim::panic("broken invariant"),
+                 "panic: broken invariant");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(sim::fatal("bad config"), ::testing::ExitedWithCode(1),
+                "fatal: bad config");
+}
+
+TEST(LoggingDeathTest, FailedRvAssertNamesConditionAndMessage)
+{
+    EXPECT_DEATH(RV_ASSERT(2 < 1, "ordering broke"),
+                 "assertion '2 < 1' failed: ordering broke");
+}
+
+TEST(Logging, WarnAndInformReturnNormally)
+{
+    sim::warn("just a warning");
+    sim::inform("just information");
+}
+
+TEST(Logging, StrfmtHandlesMixedArguments)
+{
+    EXPECT_EQ(sim::strfmt("core %u served %lu rpcs (%.1f%%)", 3u, 42ul,
+                          99.5),
+              "core 3 served 42 rpcs (99.5%)");
+}
+
+TEST(Logging, StrfmtEmptyAndPlainStrings)
+{
+    EXPECT_EQ(sim::strfmt("%s", ""), "");
+    EXPECT_EQ(sim::strfmt("no placeholders"), "no placeholders");
+}
+
+} // namespace

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regression guard for sim/logging.hh's RV_ASSERT contract: the macro
+ * is an *always-on* invariant check, independent of NDEBUG. This
+ * translation unit is compiled with NDEBUG forced on by CMake (see the
+ * sim_release_assert_test target), so these tests fail if RV_ASSERT is
+ * ever rewritten in terms of <cassert> or gated behind a debug flag —
+ * either change would silently disable every invariant in Release
+ * builds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace {
+
+#ifndef NDEBUG
+#error "release_assert_test must be compiled with NDEBUG (see CMakeLists)"
+#endif
+
+TEST(ReleaseAssertDeathTest, FailedAssertPanicsUnderNdebug)
+{
+    EXPECT_DEATH(RV_ASSERT(1 + 1 == 3, "arithmetic broke"),
+                 "assertion '1 \\+ 1 == 3' failed: arithmetic broke");
+}
+
+TEST(ReleaseAssertDeathTest, PanicMessageCarriesFileAndLine)
+{
+    EXPECT_DEATH(RV_ASSERT(false, "location check"),
+                 "release_assert_test\\.cc:[0-9]+: assertion");
+}
+
+TEST(ReleaseAssert, PassingAssertIsANoop)
+{
+    int evaluations = 0;
+    auto check = [&evaluations]() {
+        ++evaluations;
+        return true;
+    };
+    RV_ASSERT(check(), "must not fire");
+    // The condition is evaluated exactly once, side effects intact.
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ReleaseAssert, StrfmtFormatsLikePrintf)
+{
+    EXPECT_EQ(rpcvalet::sim::strfmt("%s=%d", "x", 42), "x=42");
+}
+
+} // namespace
