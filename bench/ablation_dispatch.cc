@@ -5,13 +5,18 @@
  * The paper's proof-of-concept dispatcher is greedy; §4.3 notes
  * implementations "can range from simple hardwired logic to microcoded
  * state machines" and that the backend-to-dispatcher indirection
- * "adds just a few ns". This bench quantifies both: greedy vs
- * round-robin vs power-of-two-choices, and the dispatcher pinned to
- * each of the four backends.
+ * "adds just a few ns". This bench quantifies both: every policy in
+ * the ni::PolicyRegistry (greedy, rr, pow2, jbsq, stale-jsq,
+ * delay-aware, plus anything registered externally) at default
+ * parameters, and the dispatcher pinned to each of the four backends.
+ * Pass --policy=SPEC (e.g. --policy=jbsq:d=2) to run a single
+ * parameterized spec instead of the whole registry.
  */
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "app/synthetic_app.hh"
 #include "common.hh"
@@ -22,7 +27,7 @@ main(int argc, char **argv)
     using namespace rpcvalet;
     const auto args = bench::parseArgs(argc, argv);
     bench::printHeader("Ablation: dispatch policy and placement",
-                       "GEV service; policy greedy/rr/po2c; dispatcher "
+                       "GEV service; every registered policy; dispatcher "
                        "on backend 0..3");
 
     auto factory = [] {
@@ -33,14 +38,23 @@ main(int argc, char **argv)
     node::SystemParams sys;
     const double capacity = core::estimateCapacityRps(sys, probe);
 
+    // --policy narrows the sweep to one spec; default sweeps the
+    // whole registry by name (each at its default parameters).
+    std::vector<ni::PolicySpec> specs;
+    if (!args.policy.empty()) {
+        specs.push_back(ni::PolicySpec::parse(args.policy));
+    } else {
+        for (const std::string &name :
+             ni::PolicyRegistry::instance().names())
+            specs.push_back(ni::PolicySpec::parse(name));
+    }
+
     std::printf("\n--- dispatch policy (1x16, load 0.7 / 0.9) ---\n");
-    std::printf("%14s %14s %14s %16s\n", "policy", "p99@70%(us)",
+    std::printf("%26s %14s %14s %16s\n", "policy", "p99@70%(us)",
                 "p99@90%(us)", "capacity(Mrps)");
-    for (const auto policy : {ni::PolicyKind::GreedyLeastLoaded,
-                              ni::PolicyKind::RoundRobin,
-                              ni::PolicyKind::PowerOfTwoChoices}) {
+    for (const ni::PolicySpec &spec : specs) {
         core::ExperimentConfig cfg;
-        cfg.system.policy = policy;
+        cfg.system.policy = spec;
         cfg.system.seed = args.seed;
         cfg.warmupRpcs = args.warmup;
         cfg.measuredRpcs = args.rpcs;
@@ -55,13 +69,14 @@ main(int argc, char **argv)
         app = factory();
         const auto overload = core::runExperiment(cfg, *app);
 
-        std::printf("%14s %14.2f %14.2f %16.2f\n",
-                    ni::policyKindName(policy).c_str(),
+        std::printf("%26s %14.2f %14.2f %16.2f\n",
+                    ni::makePolicy(spec)->name().c_str(),
                     mid.point.p99Ns / 1e3, high.point.p99Ns / 1e3,
                     overload.point.achievedRps / 1e6);
     }
 
-    std::printf("\n--- dispatcher placement (greedy, load 0.9) ---\n");
+    std::printf("\n--- dispatcher placement (%s, load 0.9) ---\n",
+                args.policy.empty() ? "greedy" : args.policy.c_str());
     std::printf("%12s %14s %14s\n", "backend", "p99(us)", "mean(us)");
     double best = 1e18;
     double worst = 0.0;
@@ -72,6 +87,7 @@ main(int argc, char **argv)
         cfg.warmupRpcs = args.warmup;
         cfg.measuredRpcs = args.rpcs;
         cfg.arrivalRps = 0.9 * capacity;
+        bench::applyPolicyOverride(args, cfg);
         auto app = factory();
         const auto r = core::runExperiment(cfg, *app);
         std::printf("%12u %14.2f %14.2f\n", b, r.point.p99Ns / 1e3,

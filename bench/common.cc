@@ -33,6 +33,8 @@ parseArgs(int argc, char **argv)
             args.seed = static_cast<std::uint64_t>(std::atoll(seed));
         else if (const char *threads = value("--threads="))
             args.threads = static_cast<unsigned>(std::atoi(threads));
+        else if (const char *policy = value("--policy="))
+            args.policy = policy;
         else if (arg == "--fast")
             args.fast = true;
         else
@@ -45,6 +47,19 @@ parseArgs(int argc, char **argv)
         args.warmup = std::max<std::uint64_t>(1000, args.warmup / 5);
     }
     return args;
+}
+
+void
+applyPolicyOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
+{
+    if (args.policy.empty())
+        return;
+    cfg.system.policy = ni::PolicySpec::parse(args.policy);
+    if (!ni::PolicyRegistry::instance().contains(cfg.system.policy.name)) {
+        sim::fatal("--policy=" + args.policy +
+                   ": unknown dispatch policy (registered: " +
+                   ni::PolicyRegistry::instance().namesJoined() + ")");
+    }
 }
 
 void
@@ -105,6 +120,7 @@ makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
     sweep.base.warmupRpcs = args.warmup;
     sweep.base.measuredRpcs = args.rpcs;
     sweep.base.system.seed = args.seed;
+    applyPolicyOverride(args, sweep.base);
     for (double u : core::loadGrid(lo_util, hi_util, args.points))
         sweep.arrivalRates.push_back(u * capacity_rps);
     sweep.appFactory = std::move(factory);

@@ -4,10 +4,19 @@
  * parsing, fast-mode scaling, normalized printing, and claim checks.
  *
  * Every bench accepts:
- *   --points=N   load points per curve
- *   --rpcs=N     measured RPCs per point
- *   --seed=N     experiment seed
- *   --threads=N  worker threads for sweep points
+ *   --points=N    load points per curve
+ *   --rpcs=N      measured RPCs per point
+ *   --warmup=N    completions discarded before measurement per point
+ *   --seed=N      experiment seed
+ *   --threads=N   worker threads for sweep points
+ *   --policy=SPEC dispatch-policy spec (registry string such as
+ *                 "greedy" or "jbsq:d=2"); empty keeps each bench's
+ *                 default. Overrides the policy in every
+ *                 simulator-driven bench (via applyPolicyOverride);
+ *                 ablation_dispatch narrows its policy sweep to just
+ *                 this spec. The analytical queueing-model benches
+ *                 (fig2a/2b/2c, fig6) have no dispatcher and ignore
+ *                 it, like --rpcs.
  * and honors RPCVALET_BENCH_FAST=1 (quarter-size runs for smoke use).
  */
 
@@ -34,10 +43,20 @@ struct BenchArgs
     std::uint64_t seed = 42;
     unsigned threads = 2;
     bool fast = false;
+    /** Dispatch-policy spec override; empty = bench default. */
+    std::string policy;
 };
 
 /** Parse argv + RPCVALET_BENCH_FAST; unknown flags are fatal. */
 BenchArgs parseArgs(int argc, char **argv);
+
+/**
+ * Apply --policy to @p cfg when set (fatal on a malformed or
+ * unregistered spec). makeSweep calls this on the sweep base; benches
+ * that build ExperimentConfigs directly call it themselves.
+ */
+void applyPolicyOverride(const BenchArgs &args,
+                         core::ExperimentConfig &cfg);
 
 /** Print the standard figure banner. */
 void printHeader(const std::string &figure, const std::string &summary);

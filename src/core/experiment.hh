@@ -9,6 +9,8 @@
  *
  *   node::SystemParams sys;                    // Table 1 defaults
  *   sys.mode = ni::DispatchMode::SingleQueue;  // RPCValet
+ *   sys.policy = "greedy";                     // any registered spec,
+ *                                              // e.g. "jbsq:d=2"
  *   app::HerdApp app;
  *   core::ExperimentConfig cfg;
  *   cfg.system = sys;

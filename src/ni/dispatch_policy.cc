@@ -1,7 +1,5 @@
 #include "ni/dispatch_policy.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace rpcvalet::ni {
@@ -18,132 +16,16 @@ dispatchModeName(DispatchMode mode)
     sim::panic("unknown DispatchMode");
 }
 
-std::string
-policyKindName(PolicyKind kind)
+std::unique_ptr<DispatchPolicy>
+makePolicy(const PolicySpec &spec)
 {
-    switch (kind) {
-      case PolicyKind::GreedyLeastLoaded: return "greedy";
-      case PolicyKind::RoundRobin: return "round-robin";
-      case PolicyKind::PowerOfTwoChoices: return "po2c";
-    }
-    sim::panic("unknown PolicyKind");
+    return PolicyRegistry::instance().make(spec);
 }
-
-namespace {
-
-/**
- * The paper's proof-of-concept greedy dispatch: prefer the core with
- * the fewest outstanding requests (an idle core over a single-booked
- * one), breaking ties with a rotating cursor so load spreads evenly.
- */
-class GreedyLeastLoaded : public DispatchPolicy
-{
-  public:
-    std::optional<proto::CoreId>
-    select(const std::vector<std::uint32_t> &outstanding,
-           std::uint32_t threshold,
-           const std::vector<proto::CoreId> &candidates,
-           sim::Rng &rng) override
-    {
-        (void)rng;
-        std::optional<proto::CoreId> best;
-        std::uint32_t best_load = threshold;
-        const std::size_t n = candidates.size();
-        for (std::size_t i = 0; i < n; ++i) {
-            const proto::CoreId core = candidates[(cursor_ + i) % n];
-            const std::uint32_t load = outstanding[core];
-            if (load < best_load) {
-                best = core;
-                best_load = load;
-                if (load == 0)
-                    break; // cannot do better than idle
-            }
-        }
-        if (best)
-            cursor_ = (cursor_ + 1) % n;
-        return best;
-    }
-
-    std::string name() const override { return "greedy"; }
-
-  private:
-    std::size_t cursor_ = 0;
-};
-
-/** Plain rotation over candidates, skipping saturated cores. */
-class RoundRobin : public DispatchPolicy
-{
-  public:
-    std::optional<proto::CoreId>
-    select(const std::vector<std::uint32_t> &outstanding,
-           std::uint32_t threshold,
-           const std::vector<proto::CoreId> &candidates,
-           sim::Rng &rng) override
-    {
-        (void)rng;
-        const std::size_t n = candidates.size();
-        for (std::size_t i = 0; i < n; ++i) {
-            const proto::CoreId core = candidates[(cursor_ + i) % n];
-            if (outstanding[core] < threshold) {
-                cursor_ = (cursor_ + i + 1) % n;
-                return core;
-            }
-        }
-        return std::nullopt;
-    }
-
-    std::string name() const override { return "round-robin"; }
-
-  private:
-    std::size_t cursor_ = 0;
-};
-
-/**
- * Power-of-two-choices: sample two random candidates and keep the less
- * loaded one; fall back to a linear scan when both are saturated (the
- * hardware equivalent would retry, but the fallback keeps the
- * simulation work-conserving for a fair comparison).
- */
-class PowerOfTwoChoices : public DispatchPolicy
-{
-  public:
-    std::optional<proto::CoreId>
-    select(const std::vector<std::uint32_t> &outstanding,
-           std::uint32_t threshold,
-           const std::vector<proto::CoreId> &candidates,
-           sim::Rng &rng) override
-    {
-        const std::size_t n = candidates.size();
-        const proto::CoreId a = candidates[rng.uniformInt(0, n - 1)];
-        const proto::CoreId b = candidates[rng.uniformInt(0, n - 1)];
-        const proto::CoreId pick =
-            outstanding[a] <= outstanding[b] ? a : b;
-        if (outstanding[pick] < threshold)
-            return pick;
-        for (const proto::CoreId core : candidates) {
-            if (outstanding[core] < threshold)
-                return core;
-        }
-        return std::nullopt;
-    }
-
-    std::string name() const override { return "po2c"; }
-};
-
-} // namespace
 
 std::unique_ptr<DispatchPolicy>
 makePolicy(PolicyKind kind)
 {
-    switch (kind) {
-      case PolicyKind::GreedyLeastLoaded:
-        return std::make_unique<GreedyLeastLoaded>();
-      case PolicyKind::RoundRobin:
-        return std::make_unique<RoundRobin>();
-      case PolicyKind::PowerOfTwoChoices:
-        return std::make_unique<PowerOfTwoChoices>();
-    }
-    sim::panic("unknown PolicyKind");
+    return makePolicy(PolicySpec(kind));
 }
 
 } // namespace rpcvalet::ni

@@ -1,5 +1,6 @@
 #include "ni/dispatcher.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -24,10 +25,18 @@ Dispatcher::Dispatcher(sim::Simulator &sim, const Params &params,
     RV_ASSERT(deliver_ != nullptr, "dispatcher needs a delivery hook");
 }
 
+DispatchContext
+Dispatcher::context()
+{
+    return DispatchContext{outstanding_, candidates_,
+                           params_.outstandingThreshold, sim_.now(), rng_};
+}
+
 void
 Dispatcher::enqueue(proto::CompletionQueueEntry entry)
 {
     sharedCq_.push(std::move(entry));
+    policy_->onArrival(context());
     tryDispatch();
 }
 
@@ -37,6 +46,7 @@ Dispatcher::onReplenish(proto::CoreId core)
     RV_ASSERT(core < outstanding_.size(), "replenish core out of range");
     RV_ASSERT(outstanding_[core] > 0, "replenish without outstanding RPC");
     --outstanding_[core];
+    policy_->onComplete(core, context());
     tryDispatch();
 }
 
@@ -53,12 +63,19 @@ Dispatcher::tryDispatch()
     // Drain the shared CQ to available cores in FIFO order (§4.3).
     // Each decision serializes on the dispatch pipeline.
     while (!sharedCq_.empty()) {
-        const auto target = policy_->select(
-            outstanding_, params_.outstandingThreshold, candidates_, rng_);
+        const auto target = policy_->select(context());
         if (!target)
-            return; // all candidate cores saturated; wait for replenish
+            return; // candidates saturated or assignment deferred
+        RV_ASSERT(*target < outstanding_.size(),
+                  "policy selected a core outside the chip");
+        RV_ASSERT(std::find(candidates_.begin(), candidates_.end(),
+                            *target) != candidates_.end(),
+                  "policy selected a core outside its candidate set");
+        RV_ASSERT(outstanding_[*target] < params_.outstandingThreshold,
+                  "policy overcommitted a core past the credit threshold");
         ++outstanding_[*target];
         ++dispatched_;
+        policy_->onDispatch(*target, context());
         proto::CompletionQueueEntry entry = sharedCq_.pop();
 
         const sim::Tick start = std::max(sim_.now(), pipeFreeAt_);

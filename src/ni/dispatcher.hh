@@ -60,10 +60,16 @@ class Dispatcher
                std::uint32_t num_cores,
                std::vector<proto::CoreId> candidates, Deliver deliver);
 
-    /** A fully received message arrived from some NI backend. */
+    /**
+     * A fully received message arrived from some NI backend. Fires the
+     * policy's onArrival event, then drains what it can.
+     */
     void enqueue(proto::CompletionQueueEntry entry);
 
-    /** A core finished an RPC (its replenish reached this dispatcher). */
+    /**
+     * A core finished an RPC (its replenish reached this dispatcher).
+     * Fires the policy's onComplete event, then drains what it can.
+     */
     void onReplenish(proto::CoreId core);
 
     /** Entries currently queued in the shared CQ. */
@@ -80,6 +86,7 @@ class Dispatcher
 
   private:
     void tryDispatch();
+    DispatchContext context();
 
     sim::Simulator &sim_;
     Params params_;

@@ -1,0 +1,91 @@
+#include "ni/policy_registry.hh"
+
+#include <utility>
+
+// For the complete DispatchPolicy type (make() destroys one on the
+// factory-returned-null panic path).
+#include "ni/dispatch_policy.hh"
+#include "sim/logging.hh"
+
+namespace rpcvalet::ni {
+
+// Defined in policies.cc. Calling it from instance() forces that
+// archive member — whose only entry points are its static registrars —
+// into every binary that uses the registry.
+void linkBuiltinPolicies();
+
+PolicyRegistry &
+PolicyRegistry::instance()
+{
+    static PolicyRegistry registry;
+    linkBuiltinPolicies();
+    return registry;
+}
+
+void
+PolicyRegistry::add(const std::string &name, Factory factory)
+{
+    if (name.empty())
+        sim::fatal("cannot register a dispatch policy with an empty name");
+    if (factory == nullptr)
+        sim::fatal("dispatch policy '" + name + "' has a null factory");
+    if (!factories_.emplace(name, std::move(factory)).second) {
+        sim::fatal("dispatch policy '" + name +
+                   "' is already registered (duplicate registration)");
+    }
+}
+
+bool
+PolicyRegistry::contains(const std::string &name) const
+{
+    return factories_.count(name) > 0;
+}
+
+std::vector<std::string>
+PolicyRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_) {
+        (void)factory;
+        out.push_back(name); // std::map iterates in sorted order
+    }
+    return out;
+}
+
+std::string
+PolicyRegistry::namesJoined() const
+{
+    std::string out;
+    for (const auto &[name, factory] : factories_) {
+        (void)factory;
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+std::unique_ptr<DispatchPolicy>
+PolicyRegistry::make(const PolicySpec &spec) const
+{
+    const auto it = factories_.find(spec.name);
+    if (it == factories_.end()) {
+        sim::fatal("unknown dispatch policy '" + spec.name +
+                   "' (registered policies: " + namesJoined() + ")");
+    }
+    auto policy = it->second(spec);
+    if (policy == nullptr) {
+        sim::panic("factory for dispatch policy '" + spec.name +
+                   "' returned null");
+    }
+    return policy;
+}
+
+PolicyRegistrar::PolicyRegistrar(const std::string &name,
+                                 PolicyRegistry::Factory factory)
+{
+    PolicyRegistry::instance().add(name, std::move(factory));
+}
+
+} // namespace rpcvalet::ni

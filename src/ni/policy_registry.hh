@@ -1,0 +1,83 @@
+/**
+ * @file
+ * String-keyed registry of dispatch-policy factories.
+ *
+ * Policies self-register at static-initialization time through a
+ * PolicyRegistrar, so new policies — including ones defined entirely
+ * outside src/ni (see examples/custom_policy_playground.cc) — become
+ * selectable by spec string without touching the dispatcher, params,
+ * or bench layers:
+ *
+ *   namespace {
+ *   const ni::PolicyRegistrar reg("my-policy",
+ *       [](const ni::PolicySpec &spec) {
+ *           spec.expectKeys({"gain"});
+ *           return std::make_unique<MyPolicy>(
+ *               spec.doubleParam("gain", 1.0));
+ *       });
+ *   } // namespace
+ *
+ * Lookups are runtime-only (from main onward): a make() call during
+ * another translation unit's static initialization may run before the
+ * built-ins have registered.
+ */
+
+#ifndef RPCVALET_NI_POLICY_REGISTRY_HH
+#define RPCVALET_NI_POLICY_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ni/policy_spec.hh"
+
+namespace rpcvalet::ni {
+
+class DispatchPolicy;
+
+/** Process-wide name -> factory table for dispatch policies. */
+class PolicyRegistry
+{
+  public:
+    /** Builds a policy instance from its (validated) spec. */
+    using Factory =
+        std::function<std::unique_ptr<DispatchPolicy>(const PolicySpec &)>;
+
+    /** The process-wide registry (created on first use). */
+    static PolicyRegistry &instance();
+
+    /** Register @p factory under @p name; duplicate names are fatal. */
+    void add(const std::string &name, Factory factory);
+
+    bool contains(const std::string &name) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Sorted names joined with ", " (for error messages and help). */
+    std::string namesJoined() const;
+
+    /**
+     * Instantiate the policy @p spec names. An unregistered name is
+     * fatal, with the message listing every registered name.
+     */
+    std::unique_ptr<DispatchPolicy> make(const PolicySpec &spec) const;
+
+  private:
+    PolicyRegistry() = default;
+
+    std::map<std::string, Factory> factories_;
+};
+
+/** Registers a factory at static-initialization time. */
+struct PolicyRegistrar
+{
+    PolicyRegistrar(const std::string &name,
+                    PolicyRegistry::Factory factory);
+};
+
+} // namespace rpcvalet::ni
+
+#endif // RPCVALET_NI_POLICY_REGISTRY_HH

@@ -26,6 +26,11 @@ SystemParams::validate() const
         numCores % numBackends != 0) {
         sim::fatal("4x4 mode needs numCores divisible by numBackends");
     }
+    if (!ni::PolicyRegistry::instance().contains(policy.name)) {
+        sim::fatal("unknown dispatch policy '" + policy.name +
+                   "' (registered policies: " +
+                   ni::PolicyRegistry::instance().namesJoined() + ")");
+    }
 }
 
 } // namespace rpcvalet::node

@@ -87,8 +87,14 @@ struct SystemParams
 
     /** Queuing topology (1x16 / 4x4 / 16x1 / software). */
     ni::DispatchMode mode = ni::DispatchMode::SingleQueue;
-    /** Core-selection heuristic for hardware dispatchers. */
-    ni::PolicyKind policy = ni::PolicyKind::GreedyLeastLoaded;
+    /**
+     * Core-selection policy for hardware dispatchers, looked up in the
+     * ni::PolicyRegistry by spec string — e.g. "greedy" (default),
+     * "rr", "pow2:d=3", "jbsq:d=2", "stale-jsq:staleness=50ns",
+     * "delay-aware". Assigning the deprecated ni::PolicyKind enum
+     * still works for one PR via an implicit conversion shim.
+     */
+    ni::PolicySpec policy{};
     /** Max outstanding RPCs per core (§4.3: 2). */
     std::uint32_t outstandingPerCore = 2;
     /** Which backend hosts the single-queue dispatcher (§4.3). */

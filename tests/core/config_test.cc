@@ -109,6 +109,20 @@ TEST(ConfigDeath, RejectsNodeIdOutsideDomain)
     EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "nodeId");
 }
 
+TEST(ConfigDeath, RejectsUnregisteredPolicyListingAlternatives)
+{
+    SystemParams p;
+    p.policy.name = "nonesuch";
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
+                "unknown dispatch policy 'nonesuch'.*greedy");
+}
+
+TEST(Config, DefaultPolicyIsGreedySpec)
+{
+    const SystemParams p;
+    EXPECT_EQ(p.policy, rpcvalet::ni::PolicySpec("greedy"));
+}
+
 TEST(Config, DefaultConfigValidates)
 {
     SystemParams p;

@@ -116,6 +116,43 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
+TEST(Experiment, DefaultSpecBitIdenticalToLegacyPolicyKindPath)
+{
+    // The PolicySpec redesign must not perturb a single decision: the
+    // default spec, the explicit "greedy" string, and the deprecated
+    // PolicyKind shim all reproduce identical RunStats for one seed.
+    auto run_with = [](const ni::PolicySpec &policy) {
+        ExperimentConfig cfg =
+            smallConfig(ni::DispatchMode::SingleQueue, 14e6);
+        cfg.system.policy = policy;
+        app::HerdApp app;
+        return runExperiment(cfg, app);
+    };
+    const RunStats via_default = run_with(ni::PolicySpec{});
+    const RunStats via_string = run_with("greedy");
+    const RunStats via_shim =
+        run_with(ni::PolicyKind::GreedyLeastLoaded);
+
+    auto expect_identical = [](const RunStats &a, const RunStats &b) {
+        EXPECT_DOUBLE_EQ(a.point.meanNs, b.point.meanNs);
+        EXPECT_DOUBLE_EQ(a.point.p50Ns, b.point.p50Ns);
+        EXPECT_DOUBLE_EQ(a.point.p90Ns, b.point.p90Ns);
+        EXPECT_DOUBLE_EQ(a.point.p99Ns, b.point.p99Ns);
+        EXPECT_DOUBLE_EQ(a.point.achievedRps, b.point.achievedRps);
+        EXPECT_DOUBLE_EQ(a.meanServiceNs, b.meanServiceNs);
+        EXPECT_DOUBLE_EQ(a.simulatedUs, b.simulatedUs);
+        EXPECT_EQ(a.completions, b.completions);
+        EXPECT_EQ(a.replySlotStalls, b.replySlotStalls);
+        EXPECT_EQ(a.perCoreServed, b.perCoreServed);
+        EXPECT_DOUBLE_EQ(a.breakdown.dispatch.p99Ns,
+                         b.breakdown.dispatch.p99Ns);
+        EXPECT_DOUBLE_EQ(a.breakdown.queueWait.meanNs,
+                         b.breakdown.queueWait.meanNs);
+    };
+    expect_identical(via_default, via_string);
+    expect_identical(via_default, via_shim);
+}
+
 TEST(Experiment, SingleQueueBalancesLoadAcrossCores)
 {
     app::HerdApp app;

@@ -1,6 +1,8 @@
 /**
  * @file
- * Unit tests for the core-selection policies (§4.3).
+ * Unit tests for the built-in core-selection policies (§4.3) through
+ * the event-driven policy API: policies are made from spec strings and
+ * driven with a hand-built DispatchContext.
  */
 
 #include <gtest/gtest.h>
@@ -13,8 +15,7 @@
 namespace {
 
 using namespace rpcvalet;
-using ni::DispatchPolicy;
-using ni::PolicyKind;
+using ni::DispatchContext;
 using ni::makePolicy;
 
 std::vector<proto::CoreId>
@@ -26,50 +27,82 @@ allCores(std::uint32_t n)
     return out;
 }
 
+/** Owns the state a DispatchContext views, for driving bare policies. */
+struct ContextFixture
+{
+    std::vector<std::uint32_t> outstanding;
+    std::vector<proto::CoreId> candidates;
+    std::uint32_t threshold = 2;
+    sim::Tick now = 0;
+    sim::Rng rng{1};
+
+    explicit ContextFixture(std::uint32_t cores, std::uint32_t thresh = 2)
+        : outstanding(cores, 0), candidates(allCores(cores)),
+          threshold(thresh)
+    {}
+
+    DispatchContext
+    ctx()
+    {
+        return DispatchContext{outstanding, candidates, threshold, now,
+                               rng};
+    }
+
+    /** select() and mirror the dispatcher's bookkeeping + events. */
+    std::optional<proto::CoreId>
+    step(ni::DispatchPolicy &policy)
+    {
+        const auto pick = policy.select(ctx());
+        if (pick) {
+            ++outstanding[*pick];
+            policy.onDispatch(*pick, ctx());
+        }
+        return pick;
+    }
+};
+
 TEST(Greedy, PrefersIdleCore)
 {
-    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
-    sim::Rng rng(1);
-    std::vector<std::uint32_t> outstanding = {1, 1, 0, 1};
-    const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+    auto policy = makePolicy("greedy");
+    ContextFixture f(4);
+    f.outstanding = {1, 1, 0, 1};
+    const auto pick = policy->select(f.ctx());
     ASSERT_TRUE(pick.has_value());
     EXPECT_EQ(*pick, 2u);
 }
 
 TEST(Greedy, DoubleBooksOnlyWhenNoIdleCore)
 {
-    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
-    sim::Rng rng(1);
-    std::vector<std::uint32_t> outstanding = {1, 1, 1, 1};
-    const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+    auto policy = makePolicy("greedy");
+    ContextFixture f(4);
+    f.outstanding = {1, 1, 1, 1};
+    const auto pick = policy->select(f.ctx());
     ASSERT_TRUE(pick.has_value());
-    EXPECT_EQ(outstanding[*pick], 1u);
+    EXPECT_EQ(f.outstanding[*pick], 1u);
 }
 
 TEST(Greedy, ReturnsNulloptWhenAllSaturated)
 {
-    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
-    sim::Rng rng(1);
-    std::vector<std::uint32_t> outstanding = {2, 2, 2, 2};
-    EXPECT_FALSE(policy->select(outstanding, 2, allCores(4), rng));
+    auto policy = makePolicy("greedy");
+    ContextFixture f(4);
+    f.outstanding = {2, 2, 2, 2};
+    EXPECT_FALSE(policy->select(f.ctx()));
 }
 
 TEST(Greedy, RespectsCandidateSubset)
 {
     // A 4x4-style dispatcher only sees its group.
-    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
-    sim::Rng rng(1);
-    std::vector<std::uint32_t> outstanding(16, 0);
-    const std::vector<proto::CoreId> group = {4, 5, 6, 7};
+    auto policy = makePolicy("greedy");
+    ContextFixture f(16);
+    f.candidates = {4, 5, 6, 7};
     for (int i = 0; i < 20; ++i) {
-        const auto pick = policy->select(outstanding, 2, group, rng);
+        const auto pick = f.step(*policy);
         ASSERT_TRUE(pick.has_value());
         EXPECT_GE(*pick, 4u);
         EXPECT_LE(*pick, 7u);
-        ++outstanding[*pick];
         if (i % 3 == 0) {
-            for (auto c : group)
-                outstanding[c] = 0;
+            for (auto c : f.candidates)
+                f.outstanding[c] = 0;
         }
     }
 }
@@ -77,12 +110,11 @@ TEST(Greedy, RespectsCandidateSubset)
 TEST(Greedy, TieBreakRotates)
 {
     // All idle: consecutive picks should not all hit the same core.
-    auto policy = makePolicy(PolicyKind::GreedyLeastLoaded);
-    sim::Rng rng(1);
-    std::vector<std::uint32_t> outstanding(4, 0);
+    auto policy = makePolicy("greedy");
+    ContextFixture f(4);
     std::set<proto::CoreId> seen;
     for (int i = 0; i < 4; ++i) {
-        const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+        const auto pick = policy->select(f.ctx());
         ASSERT_TRUE(pick.has_value());
         seen.insert(*pick);
         // Keep all cores idle so only the cursor differentiates.
@@ -92,12 +124,11 @@ TEST(Greedy, TieBreakRotates)
 
 TEST(RoundRobin, CyclesThroughAvailableCores)
 {
-    auto policy = makePolicy(PolicyKind::RoundRobin);
-    sim::Rng rng(1);
-    std::vector<std::uint32_t> outstanding(4, 0);
+    auto policy = makePolicy("rr");
+    ContextFixture f(4, /*thresh=*/4);
     std::vector<proto::CoreId> picks;
     for (int i = 0; i < 8; ++i) {
-        const auto pick = policy->select(outstanding, 4, allCores(4), rng);
+        const auto pick = policy->select(f.ctx());
         ASSERT_TRUE(pick.has_value());
         picks.push_back(*pick);
     }
@@ -106,11 +137,11 @@ TEST(RoundRobin, CyclesThroughAvailableCores)
 
 TEST(RoundRobin, SkipsSaturatedCores)
 {
-    auto policy = makePolicy(PolicyKind::RoundRobin);
-    sim::Rng rng(1);
-    std::vector<std::uint32_t> outstanding = {2, 0, 2, 0};
+    auto policy = makePolicy("rr");
+    ContextFixture f(4);
+    f.outstanding = {2, 0, 2, 0};
     for (int i = 0; i < 6; ++i) {
-        const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+        const auto pick = policy->select(f.ctx());
         ASSERT_TRUE(pick.has_value());
         EXPECT_TRUE(*pick == 1 || *pick == 3);
     }
@@ -118,14 +149,15 @@ TEST(RoundRobin, SkipsSaturatedCores)
 
 TEST(PowerOfTwo, PicksLessLoadedOfTwo)
 {
-    auto policy = makePolicy(PolicyKind::PowerOfTwoChoices);
-    sim::Rng rng(7);
-    // One heavily loaded core: po2c should avoid it most of the time.
-    std::vector<std::uint32_t> outstanding = {1, 0, 0, 0};
+    auto policy = makePolicy("pow2");
+    ContextFixture f(4);
+    f.rng = sim::Rng(7);
+    // One heavily loaded core: pow2 should avoid it most of the time.
+    f.outstanding = {1, 0, 0, 0};
     int hit_loaded = 0;
     const int n = 1000;
     for (int i = 0; i < n; ++i) {
-        const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+        const auto pick = policy->select(f.ctx());
         ASSERT_TRUE(pick.has_value());
         hit_loaded += (*pick == 0);
     }
@@ -135,22 +167,64 @@ TEST(PowerOfTwo, PicksLessLoadedOfTwo)
 
 TEST(PowerOfTwo, FallsBackToScanWhenSamplesSaturated)
 {
-    auto policy = makePolicy(PolicyKind::PowerOfTwoChoices);
-    sim::Rng rng(7);
-    std::vector<std::uint32_t> outstanding = {2, 2, 2, 0};
+    auto policy = makePolicy("pow2");
+    ContextFixture f(4);
+    f.rng = sim::Rng(7);
+    f.outstanding = {2, 2, 2, 0};
     for (int i = 0; i < 50; ++i) {
-        const auto pick = policy->select(outstanding, 2, allCores(4), rng);
+        const auto pick = policy->select(f.ctx());
         ASSERT_TRUE(pick.has_value());
         EXPECT_EQ(*pick, 3u);
     }
 }
 
-TEST(PolicyNames, AllNamed)
+TEST(PowerOfD, HigherDConcentratesOnLeastLoaded)
 {
-    EXPECT_EQ(makePolicy(PolicyKind::GreedyLeastLoaded)->name(), "greedy");
-    EXPECT_EQ(makePolicy(PolicyKind::RoundRobin)->name(), "round-robin");
-    EXPECT_EQ(makePolicy(PolicyKind::PowerOfTwoChoices)->name(), "po2c");
-    EXPECT_EQ(ni::policyKindName(PolicyKind::GreedyLeastLoaded), "greedy");
+    // With d = 8 samples over 4 cores, the single idle core is found
+    // almost always.
+    auto policy = makePolicy("pow2:d=8");
+    ContextFixture f(4, /*thresh=*/4);
+    f.rng = sim::Rng(11);
+    f.outstanding = {3, 3, 3, 0};
+    int hit_idle = 0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        const auto pick = policy->select(f.ctx());
+        ASSERT_TRUE(pick.has_value());
+        hit_idle += (*pick == 3);
+    }
+    // Expected hit rate 1 - (3/4)^8 ~ 90%; d=2 would manage only ~44%.
+    EXPECT_GT(hit_idle, n * 8 / 10);
+}
+
+TEST(PolicyNames, ReflectSpecs)
+{
+    EXPECT_EQ(makePolicy("greedy")->name(), "greedy");
+    EXPECT_EQ(makePolicy("rr")->name(), "rr");
+    EXPECT_EQ(makePolicy("pow2")->name(), "pow2:d=2");
+    EXPECT_EQ(makePolicy("pow2:d=3")->name(), "pow2:d=3");
+    EXPECT_EQ(makePolicy("jbsq:d=4")->name(), "jbsq:d=4");
+    EXPECT_EQ(makePolicy("stale-jsq:staleness=50ns")->name(),
+              "stale-jsq:staleness=50ns");
+    EXPECT_EQ(makePolicy("delay-aware")->name(),
+              "delay-aware:alpha=0.1,init=550ns");
+    // Parameterized instances stay distinguishable in bench output.
+    EXPECT_EQ(makePolicy("delay-aware:alpha=0.5,init=1us")->name(),
+              "delay-aware:alpha=0.5,init=1000ns");
+}
+
+TEST(PolicyKindShim, LegacyEnumStillResolves)
+{
+    // Deprecated PolicyKind maps onto registry names for one PR.
+    EXPECT_EQ(ni::policyKindName(ni::PolicyKind::GreedyLeastLoaded),
+              "greedy");
+    EXPECT_EQ(ni::policyKindName(ni::PolicyKind::RoundRobin), "rr");
+    EXPECT_EQ(ni::policyKindName(ni::PolicyKind::PowerOfTwoChoices),
+              "pow2");
+    EXPECT_EQ(makePolicy(ni::PolicyKind::GreedyLeastLoaded)->name(),
+              "greedy");
+    const ni::PolicySpec shimmed = ni::PolicyKind::PowerOfTwoChoices;
+    EXPECT_EQ(shimmed, ni::PolicySpec("pow2"));
 }
 
 TEST(ModeNames, MatchPaperNotation)

@@ -47,7 +47,7 @@ struct Fixture
         for (proto::CoreId c = 0; c < cores; ++c)
             cand.push_back(c);
         return std::make_unique<Dispatcher>(
-            sim, p, ni::makePolicy(ni::PolicyKind::GreedyLeastLoaded),
+            sim, p, ni::makePolicy("greedy"),
             cores, cand,
             [this](proto::CoreId core, proto::CompletionQueueEntry e) {
                 deliveries.push_back({core, e.slotIndex});
@@ -126,7 +126,7 @@ TEST(Dispatcher, DecisionsSerializeOnPipeline)
     p.outstandingThreshold = 2;
     p.decisionOccupancy = nanoseconds(4);
     Dispatcher timed(
-        f.sim, p, ni::makePolicy(ni::PolicyKind::GreedyLeastLoaded), 4,
+        f.sim, p, ni::makePolicy("greedy"), 4,
         {0, 1, 2, 3},
         [&](proto::CoreId, proto::CompletionQueueEntry) {
             times.push_back(f.sim.now());
@@ -162,8 +162,7 @@ TEST(DispatcherDeath, CandidateOutOfRangePanics)
     Simulator sim;
     Dispatcher::Params p;
     EXPECT_DEATH(Dispatcher(sim, p,
-                            ni::makePolicy(
-                                ni::PolicyKind::GreedyLeastLoaded),
+                            ni::makePolicy("greedy"),
                             4, {9},
                             [](proto::CoreId,
                                proto::CompletionQueueEntry) {}),
