@@ -58,6 +58,9 @@ main(int argc, char **argv)
         cfg.system.seed = args.seed;
         cfg.warmupRpcs = args.warmup;
         cfg.measuredRpcs = args.rpcs;
+        // Only the arrival override: --policy already narrowed the
+        // sweep, and applying it here would clobber the swept spec.
+        bench::applyArrivalOverride(args, cfg);
 
         cfg.arrivalRps = 0.7 * capacity;
         auto app = factory();
@@ -87,7 +90,7 @@ main(int argc, char **argv)
         cfg.warmupRpcs = args.warmup;
         cfg.measuredRpcs = args.rpcs;
         cfg.arrivalRps = 0.9 * capacity;
-        bench::applyPolicyOverride(args, cfg);
+        bench::applyOverrides(args, cfg);
         auto app = factory();
         const auto r = core::runExperiment(cfg, *app);
         std::printf("%12u %14.2f %14.2f\n", b, r.point.p99Ns / 1e3,

@@ -36,7 +36,7 @@ runWorkload(const bench::BenchArgs &args, const std::string &name,
         cfg.system.seed = args.seed;
         cfg.warmupRpcs = args.warmup;
         cfg.measuredRpcs = args.rpcs;
-        bench::applyPolicyOverride(args, cfg);
+        bench::applyOverrides(args, cfg);
 
         // Capacity probe: heavy overload.
         cfg.arrivalRps = 2.5 * capacity;

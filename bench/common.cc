@@ -1,12 +1,161 @@
 #include "common.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "net/arrival.hh"
 #include "sim/logging.hh"
 
 namespace rpcvalet::bench {
+
+namespace {
+
+/**
+ * Everything destined for the --json report, accumulated as the bench
+ * prints and written once at exit. Series are keyed by label so a
+ * curve printed through several helpers lands in the report once.
+ */
+struct JsonReport
+{
+    bool enabled = false;
+    std::string path;
+    std::string benchName;
+    BenchArgs args;
+
+    struct SeriesEntry
+    {
+        stats::Series series;
+        double capacityRps = 0.0;
+        double sbarNs = 0.0;
+    };
+    std::vector<SeriesEntry> series;
+
+    struct ClaimEntry
+    {
+        std::string what;
+        double paper = 0.0;
+        double measured = 0.0;
+        double relTol = 0.0;
+        bool holds = false;
+    };
+    std::vector<ClaimEntry> claims;
+};
+
+JsonReport &
+report()
+{
+    static JsonReport r;
+    return r;
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += sim::strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** JSON number: non-finite values (empty percentiles) become null. */
+void
+jsonNumber(std::FILE *f, double v)
+{
+    if (std::isfinite(v))
+        std::fprintf(f, "%.10g", v);
+    else
+        std::fputs("null", f);
+}
+
+void
+writeJsonReport()
+{
+    const JsonReport &r = report();
+    if (!r.enabled)
+        return;
+    std::FILE *f = std::fopen(r.path.c_str(), "w");
+    if (f == nullptr) {
+        sim::warn("--json: cannot write '" + r.path + "'");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n",
+                 jsonEscape(r.benchName).c_str());
+    std::fprintf(f,
+                 "  \"args\": {\"points\": %zu, \"rpcs\": %llu, "
+                 "\"warmup\": %llu, \"seed\": %llu, \"fast\": %s, "
+                 "\"policy\": \"%s\", \"arrival\": \"%s\"},\n",
+                 r.args.points,
+                 static_cast<unsigned long long>(r.args.rpcs),
+                 static_cast<unsigned long long>(r.args.warmup),
+                 static_cast<unsigned long long>(r.args.seed),
+                 r.args.fast ? "true" : "false",
+                 jsonEscape(r.args.policy).c_str(),
+                 jsonEscape(r.args.arrival).c_str());
+    std::fputs("  \"series\": [", f);
+    for (std::size_t i = 0; i < r.series.size(); ++i) {
+        const auto &entry = r.series[i];
+        std::fprintf(f, "%s\n    {\"label\": \"%s\", ",
+                     i == 0 ? "" : ",",
+                     jsonEscape(entry.series.label).c_str());
+        std::fputs("\"capacity_rps\": ", f);
+        jsonNumber(f, entry.capacityRps);
+        std::fputs(", \"sbar_ns\": ", f);
+        jsonNumber(f, entry.sbarNs);
+        std::fputs(", \"points\": [", f);
+        for (std::size_t p = 0; p < entry.series.points.size(); ++p) {
+            const auto &pt = entry.series.points[p];
+            std::fprintf(f, "%s\n      {\"offered_rps\": ",
+                         p == 0 ? "" : ",");
+            jsonNumber(f, pt.offeredRps);
+            std::fputs(", \"achieved_rps\": ", f);
+            jsonNumber(f, pt.achievedRps);
+            std::fputs(", \"mean_ns\": ", f);
+            jsonNumber(f, pt.meanNs);
+            std::fputs(", \"p50_ns\": ", f);
+            jsonNumber(f, pt.p50Ns);
+            std::fputs(", \"p90_ns\": ", f);
+            jsonNumber(f, pt.p90Ns);
+            std::fputs(", \"p99_ns\": ", f);
+            jsonNumber(f, pt.p99Ns);
+            std::fprintf(f, ", \"samples\": %llu}",
+                         static_cast<unsigned long long>(pt.samples));
+        }
+        std::fputs("]}", f);
+    }
+    std::fputs("],\n  \"claims\": [", f);
+    for (std::size_t i = 0; i < r.claims.size(); ++i) {
+        const auto &c = r.claims[i];
+        std::fprintf(f, "%s\n    {\"what\": \"%s\", \"paper\": ",
+                     i == 0 ? "" : ",", jsonEscape(c.what).c_str());
+        jsonNumber(f, c.paper);
+        std::fputs(", \"measured\": ", f);
+        jsonNumber(f, c.measured);
+        std::fputs(", \"rel_tol\": ", f);
+        jsonNumber(f, c.relTol);
+        std::fprintf(f, ", \"holds\": %s}", c.holds ? "true" : "false");
+    }
+    std::fputs("]\n}\n", f);
+    std::fclose(f);
+    std::printf("[json] wrote %s\n", r.path.c_str());
+}
+
+} // namespace
 
 BenchArgs
 parseArgs(int argc, char **argv)
@@ -16,6 +165,9 @@ parseArgs(int argc, char **argv)
     if (fast_env != nullptr && std::strcmp(fast_env, "0") != 0)
         args.fast = true;
 
+    bool points_set = false;
+    bool rpcs_set = false;
+    bool warmup_set = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&](const char *prefix) -> const char * {
@@ -23,28 +175,57 @@ parseArgs(int argc, char **argv)
             return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
                                                   : nullptr;
         };
-        if (const char *points = value("--points="))
+        if (const char *points = value("--points=")) {
             args.points = static_cast<std::size_t>(std::atoll(points));
-        else if (const char *rpcs = value("--rpcs="))
+            points_set = true;
+        } else if (const char *rpcs = value("--rpcs=")) {
             args.rpcs = static_cast<std::uint64_t>(std::atoll(rpcs));
-        else if (const char *warmup = value("--warmup="))
+            rpcs_set = true;
+        } else if (const char *warmup = value("--warmup=")) {
             args.warmup = static_cast<std::uint64_t>(std::atoll(warmup));
-        else if (const char *seed = value("--seed="))
+            warmup_set = true;
+        } else if (const char *seed = value("--seed="))
             args.seed = static_cast<std::uint64_t>(std::atoll(seed));
         else if (const char *threads = value("--threads="))
             args.threads = static_cast<unsigned>(std::atoi(threads));
         else if (const char *policy = value("--policy="))
             args.policy = policy;
+        else if (const char *arrival = value("--arrival="))
+            args.arrival = arrival;
+        else if (const char *json = value("--json="))
+            args.json = json;
         else if (arg == "--fast")
             args.fast = true;
         else
             sim::fatal("unknown bench argument: " + arg);
     }
 
+    // Fast mode shrinks the defaults for smoke runs; explicitly
+    // passed sizes always win so CI can pin exact tiny runs.
     if (args.fast) {
-        args.points = std::max<std::size_t>(5, args.points / 2);
-        args.rpcs = std::max<std::uint64_t>(10000, args.rpcs / 5);
-        args.warmup = std::max<std::uint64_t>(1000, args.warmup / 5);
+        if (!points_set)
+            args.points = std::max<std::size_t>(5, args.points / 2);
+        if (!rpcs_set)
+            args.rpcs = std::max<std::uint64_t>(10000, args.rpcs / 5);
+        if (!warmup_set)
+            args.warmup = std::max<std::uint64_t>(1000, args.warmup / 5);
+    }
+
+    if (!args.json.empty()) {
+        JsonReport &r = report();
+        r.enabled = true;
+        r.path = args.json;
+        std::string name = argc > 0 ? argv[0] : "bench";
+        const std::size_t slash = name.find_last_of('/');
+        if (slash != std::string::npos)
+            name = name.substr(slash + 1);
+        if (name.compare(0, 6, "bench_") == 0)
+            name = name.substr(6);
+        r.benchName = name;
+        r.args = args;
+        // Write whatever accumulated even if the bench exits early
+        // through fatal() (which calls exit(1), running atexit hooks).
+        std::atexit(writeJsonReport);
     }
     return args;
 }
@@ -63,6 +244,26 @@ applyPolicyOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
 }
 
 void
+applyArrivalOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
+{
+    if (args.arrival.empty())
+        return;
+    cfg.arrival = net::ArrivalSpec::parse(args.arrival);
+    if (!net::ArrivalRegistry::instance().contains(cfg.arrival.name)) {
+        sim::fatal("--arrival=" + args.arrival +
+                   ": unknown arrival process (registered: " +
+                   net::ArrivalRegistry::instance().namesJoined() + ")");
+    }
+}
+
+void
+applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg)
+{
+    applyPolicyOverride(args, cfg);
+    applyArrivalOverride(args, cfg);
+}
+
+void
 printHeader(const std::string &figure, const std::string &summary)
 {
     std::printf("==========================================================="
@@ -74,9 +275,32 @@ printHeader(const std::string &figure, const std::string &summary)
 }
 
 void
+recordJsonSeries(const stats::Series &series, double capacity_rps,
+                 double sbar_ns)
+{
+    JsonReport &r = report();
+    if (!r.enabled)
+        return;
+    for (auto &entry : r.series) {
+        if (entry.series.label == series.label) {
+            entry.series = series;
+            // Keep the richer normalization data if the update has
+            // none (printSloSummary records with 0/0).
+            if (capacity_rps > 0.0) {
+                entry.capacityRps = capacity_rps;
+                entry.sbarNs = sbar_ns;
+            }
+            return;
+        }
+    }
+    r.series.push_back({series, capacity_rps, sbar_ns});
+}
+
+void
 printNormalizedSeries(const stats::Series &series, double capacity_rps,
                       double sbar_ns)
 {
+    recordJsonSeries(series, capacity_rps, sbar_ns);
     std::printf("\n-- %s (S-bar = %.0f ns) --\n", series.label.c_str(),
                 sbar_ns);
     std::printf("%8s %14s %12s %12s\n", "load", "tput(Mrps)",
@@ -92,6 +316,8 @@ void
 printSloSummary(const std::string &title,
                 const std::vector<stats::Series> &series, double slo_ns)
 {
+    for (const auto &s : series)
+        recordJsonSeries(s);
     std::printf("\n%s\n",
                 stats::formatSloTable(title, series, slo_ns,
                                       series.size() - 1)
@@ -105,6 +331,8 @@ claim(const std::string &what, double paper_value, double measured_value,
     const bool ok =
         measured_value >= paper_value * (1.0 - rel_tol) &&
         measured_value <= paper_value * (1.0 + rel_tol);
+    report().claims.push_back(
+        {what, paper_value, measured_value, rel_tol, ok});
     std::printf("[claim] %-46s paper=%-8.3g measured=%-8.3g %s\n",
                 what.c_str(), paper_value, measured_value,
                 ok ? "OK" : "DIVERGES");
@@ -120,7 +348,7 @@ makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
     sweep.base.warmupRpcs = args.warmup;
     sweep.base.measuredRpcs = args.rpcs;
     sweep.base.system.seed = args.seed;
-    applyPolicyOverride(args, sweep.base);
+    applyOverrides(args, sweep.base);
     for (double u : core::loadGrid(lo_util, hi_util, args.points))
         sweep.arrivalRates.push_back(u * capacity_rps);
     sweep.appFactory = std::move(factory);

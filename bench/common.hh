@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared plumbing for the figure-reproduction benches: argument
- * parsing, fast-mode scaling, normalized printing, and claim checks.
+ * parsing, fast-mode scaling, normalized printing, claim checks, and
+ * machine-readable JSON result emission.
  *
  * Every bench accepts:
  *   --points=N    load points per curve
@@ -12,12 +13,25 @@
  *   --policy=SPEC dispatch-policy spec (registry string such as
  *                 "greedy" or "jbsq:d=2"); empty keeps each bench's
  *                 default. Overrides the policy in every
- *                 simulator-driven bench (via applyPolicyOverride);
+ *                 simulator-driven bench (via applyOverrides);
  *                 ablation_dispatch narrows its policy sweep to just
  *                 this spec. The analytical queueing-model benches
  *                 (fig2a/2b/2c, fig6) have no dispatcher and ignore
  *                 it, like --rpcs.
+ *   --arrival=SPEC arrival-process spec (registry string such as
+ *                 "poisson", "mmpp2:burst=0.1,ratio=10",
+ *                 "lognormal:cv=4", "trace:file=gaps.txt"); empty
+ *                 keeps each bench's default (the paper's Poisson).
+ *                 ablation_burstiness narrows its arrival sweep to
+ *                 just this spec. Ignored by the analytical benches.
+ *   --json=FILE   write results (series, claims, args) as JSON at
+ *                 exit — the machine-readable feed behind CI's
+ *                 bench-results artifact and the BENCH_*.json perf
+ *                 trajectory.
  * and honors RPCVALET_BENCH_FAST=1 (quarter-size runs for smoke use).
+ * Fast mode only shrinks the *defaults*: an explicit --points/--rpcs/
+ * --warmup always wins, so "RPCVALET_BENCH_FAST=1 bench --points=2
+ * --rpcs=2000" runs exactly 2 tiny points.
  */
 
 #ifndef RPCVALET_BENCH_COMMON_HH
@@ -45,6 +59,10 @@ struct BenchArgs
     bool fast = false;
     /** Dispatch-policy spec override; empty = bench default. */
     std::string policy;
+    /** Arrival-process spec override; empty = bench default. */
+    std::string arrival;
+    /** JSON results path; empty = no JSON output. */
+    std::string json;
 };
 
 /** Parse argv + RPCVALET_BENCH_FAST; unknown flags are fatal. */
@@ -52,11 +70,24 @@ BenchArgs parseArgs(int argc, char **argv);
 
 /**
  * Apply --policy to @p cfg when set (fatal on a malformed or
- * unregistered spec). makeSweep calls this on the sweep base; benches
- * that build ExperimentConfigs directly call it themselves.
+ * unregistered spec).
  */
 void applyPolicyOverride(const BenchArgs &args,
                          core::ExperimentConfig &cfg);
+
+/**
+ * Apply --arrival to @p cfg when set (fatal on a malformed or
+ * unregistered spec).
+ */
+void applyArrivalOverride(const BenchArgs &args,
+                          core::ExperimentConfig &cfg);
+
+/**
+ * Apply every spec override (--policy, --arrival). makeSweep calls
+ * this on the sweep base; benches that build ExperimentConfigs
+ * directly call it themselves.
+ */
+void applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg);
 
 /** Print the standard figure banner. */
 void printHeader(const std::string &figure, const std::string &summary);
@@ -64,6 +95,7 @@ void printHeader(const std::string &figure, const std::string &summary);
 /**
  * Print a curve normalized the way Fig. 2 / Fig. 9 are plotted:
  * x = load fraction of capacity, y = p99 in multiples of S-bar.
+ * Also records the series for --json output.
  */
 void printNormalizedSeries(const stats::Series &series,
                            double capacity_rps, double sbar_ns);
@@ -71,6 +103,7 @@ void printNormalizedSeries(const stats::Series &series,
 /**
  * Print throughput-under-SLO for a set of series plus the ratio of
  * each to the LAST series (the paper's baselines are listed last).
+ * Also records the series for --json output.
  */
 void printSloSummary(const std::string &title,
                      const std::vector<stats::Series> &series,
@@ -80,9 +113,18 @@ void printSloSummary(const std::string &title,
  * Record a paper-vs-measured claim line (also echoed to stdout):
  * e.g. claim("1x16 vs 16x1 tput", 1.18, measured, 0.25).
  * A claim "holds" when measured is within rel_tol of expected.
+ * Claims land in the --json report too.
  */
 void claim(const std::string &what, double paper_value,
            double measured_value, double rel_tol);
+
+/**
+ * Record a series for --json output without printing it (printers
+ * that already record call this internally; series are keyed by
+ * label, so re-recording a label updates it in place).
+ */
+void recordJsonSeries(const stats::Series &series,
+                      double capacity_rps = 0.0, double sbar_ns = 0.0);
 
 /** Build a sweep over utilization levels of an estimated capacity. */
 core::SweepConfig

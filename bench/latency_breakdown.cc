@@ -40,7 +40,7 @@ main(int argc, char **argv)
             cfg.arrivalRps = load * capacity;
             cfg.warmupRpcs = args.warmup;
             cfg.measuredRpcs = args.rpcs;
-            bench::applyPolicyOverride(args, cfg);
+            bench::applyOverrides(args, cfg);
             app::SyntheticApp app(sim::SyntheticKind::Gev);
             const auto r = core::runExperiment(cfg, app);
             std::printf("%-9s %7.2f | %12.1f %12.1f %12.1f %12.1f | "

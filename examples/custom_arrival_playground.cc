@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Example: extending the arrival layer from *outside* src/net.
+ *
+ * Defines a new arrival process ("pareto:alpha=1.5" — bounded-mean
+ * Pareto interarrival gaps, i.e. heavy-tailed silences between request
+ * flurries), registers it with the net::ArrivalRegistry at static-init
+ * time, and then drives the node under a ladder of arrival processes —
+ * built-ins and the new one alike — purely by spec string through the
+ * public experiment API. No file under src/ was touched to add the
+ * process.
+ *
+ *   $ ./example_custom_arrival_playground
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "app/synthetic_app.hh"
+#include "core/experiment.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace rpcvalet;
+
+/**
+ * Pareto-distributed interarrival gaps with tail index alpha > 1 and
+ * the scale chosen so the mean gap matches the configured rate:
+ * xm = mean * (alpha - 1) / alpha, X = xm * U^(-1/alpha). Smaller
+ * alpha means a heavier tail — rare but enormous gaps separating
+ * dense request trains.
+ */
+class ParetoArrival : public net::ArrivalProcess
+{
+  public:
+    ParetoArrival(double rate_per_sec, double alpha)
+        : alpha_(alpha),
+          xmNs_((1e9 / rate_per_sec) * (alpha - 1.0) / alpha)
+    {}
+
+    double
+    nextInterarrivalNs(sim::Rng &rng, sim::Tick now) override
+    {
+        (void)now;
+        return xmNs_ * std::pow(rng.uniformPositive(), -1.0 / alpha_);
+    }
+
+    std::string
+    name() const override
+    {
+        return sim::strfmt("pareto:alpha=%g", alpha_);
+    }
+
+  private:
+    double alpha_;
+    double xmNs_;
+};
+
+// Static-init registration: this is all it takes to make
+// "pareto:alpha=1.5" usable from ExperimentConfig, the benches'
+// --arrival= flag, and ablation_burstiness's arrival axis.
+const net::ArrivalRegistrar paretoRegistrar(
+    "pareto", [](const net::ArrivalSpec &spec, double rate) {
+        spec.expectKeys({"alpha"});
+        const double alpha = spec.doubleParam("alpha", 1.5);
+        if (!(alpha > 1.0)) {
+            sim::fatal("arrival '" + spec.toString() +
+                       "': pareto needs alpha > 1 (finite mean)");
+        }
+        return std::make_unique<ParetoArrival>(rate, alpha);
+    });
+
+double
+p99AtLoad(const net::ArrivalSpec &arrival, double utilization)
+{
+    node::SystemParams sys;
+    app::SyntheticApp probe(sim::SyntheticKind::Gev);
+    const double capacity = core::estimateCapacityRps(sys, probe);
+    core::ExperimentConfig cfg;
+    cfg.system = sys;
+    cfg.arrival = arrival;
+    cfg.arrivalRps = utilization * capacity;
+    cfg.warmupRpcs = 2000;
+    cfg.measuredRpcs = 25000;
+    app::SyntheticApp app(sim::SyntheticKind::Gev);
+    return core::runExperiment(cfg, app).point.p99Ns;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rpcvalet;
+
+    std::printf("Arrival-process playground (GEV service, greedy 1x16, "
+                "70%% load)\n\n");
+
+    std::printf("--- registered arrival processes (note 'pareto': "
+                "registered by this example) ---\n");
+    for (const std::string &name :
+         net::ArrivalRegistry::instance().names())
+        std::printf("  %s\n", name.c_str());
+
+    std::printf("\n--- p99 under increasing burstiness, same average "
+                "load ---\n");
+    for (const char *spec :
+         {"deterministic", "poisson", "lognormal:cv=2", "lognormal:cv=4",
+          "mmpp2:burst=0.1,ratio=8", "pareto:alpha=2.5",
+          "pareto:alpha=1.5"}) {
+        std::printf("  %-28s p99 = %8.2f us\n", spec,
+                    p99AtLoad(net::ArrivalSpec(spec), 0.7) / 1e3);
+    }
+
+    std::printf("\n--- time-varying load: ramps through the same mean "
+                "---\n");
+    for (const char *spec :
+         {"ramp:from=1,to=1", "ramp:from=0.5,to=1.5,over=1ms",
+          "ramp:from=0.2,to=1.8,over=1ms"}) {
+        std::printf("  %-28s p99 = %8.2f us\n", spec,
+                    p99AtLoad(net::ArrivalSpec(spec), 0.7) / 1e3);
+    }
+
+    std::printf("\nArrival processes are spec strings resolved by the "
+                "net::ArrivalRegistry\n(see src/net/arrival.hh); every "
+                "bench accepts --arrival=SPEC.\n");
+    return 0;
+}

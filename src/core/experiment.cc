@@ -23,6 +23,7 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
 
     net::TrafficGenerator::Params tp;
     tp.arrivalRps = cfg.arrivalRps;
+    tp.arrival = cfg.arrival;
     tp.targetNode = cfg.system.nodeId;
     tp.clientTurnaround = cfg.clientTurnaround;
     tp.seed = cfg.system.seed;

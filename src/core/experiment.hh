@@ -15,6 +15,8 @@
  *   core::ExperimentConfig cfg;
  *   cfg.system = sys;
  *   cfg.arrivalRps = 10e6;
+ *   cfg.arrival = "mmpp2:burst=0.1,ratio=10";  // any arrival spec;
+ *                                              // default "poisson"
  *   core::RunStats stats = core::runExperiment(cfg, app);
  */
 
@@ -28,6 +30,7 @@
 #include <vector>
 
 #include "app/rpc_application.hh"
+#include "net/arrival.hh"
 #include "node/params.hh"
 #include "stats/series.hh"
 
@@ -40,6 +43,13 @@ struct ExperimentConfig
     node::SystemParams system{};
     /** Offered aggregate arrival rate, requests per second. */
     double arrivalRps = 1e6;
+    /**
+     * Interarrival process shaping that rate, looked up in the
+     * net::ArrivalRegistry by spec string — e.g. "poisson" (default),
+     * "mmpp2:burst=0.1,ratio=10", "lognormal:cv=4", "deterministic",
+     * "ramp:from=0.5,to=1.5,over=1ms", "trace:file=gaps.txt".
+     */
+    net::ArrivalSpec arrival{};
     /** Completions discarded before measurement starts. */
     std::uint64_t warmupRpcs = 20000;
     /** Completions measured after warmup. */

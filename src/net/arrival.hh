@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Pluggable open-loop arrival processes.
+ *
+ * The paper's evaluation drives the node with fixed-rate Poisson
+ * arrivals (§5), but the single-queue dispatch claim is stressed
+ * hardest by bursty and time-varying µs-scale traffic. This subsystem
+ * makes the interarrival process a first-class, string-selectable
+ * component, mirroring the dispatch-policy architecture:
+ *
+ *  - ArrivalSpec      "name:key=value,..." (sim::Spec with arrival
+ *                     diagnostics), e.g. "mmpp2:burst=0.1,ratio=10"
+ *  - ArrivalProcess   samples the next interarrival gap; lifecycle
+ *                     hooks observe start/halt
+ *  - ArrivalRegistry  process-wide name -> factory table; processes
+ *                     self-register via ArrivalRegistrar, including
+ *                     from outside src/ (see
+ *                     examples/custom_arrival_playground.cc).
+ *                     Lookups are runtime-only (from main onward), as
+ *                     with the ni::PolicyRegistry: a make() call
+ *                     during another translation unit's static
+ *                     initialization may run before the built-ins
+ *                     have registered
+ *  - ArrivalDriver    generalizes sim::PoissonProcess: schedules one
+ *                     handler call per arrival drawn from any process
+ *
+ * Built-ins (src/net/arrivals.cc): "poisson" (default; bit-identical
+ * to the legacy sim::PoissonProcess at a fixed seed), "deterministic",
+ * "lognormal:cv=", "mmpp2:burst=,ratio=,dwell=", "ramp:from=,to=,
+ * over=", and "trace:file=,raw=".
+ */
+
+#ifndef RPCVALET_NET_ARRIVAL_HH
+#define RPCVALET_NET_ARRIVAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/simulator.hh"
+#include "sim/spec.hh"
+#include "sim/types.hh"
+
+namespace rpcvalet::net {
+
+/** An arrival-process selection: registry name plus parameters. */
+struct ArrivalSpec : public sim::Spec
+{
+    /** Default process: the paper's fixed-rate Poisson generator. */
+    ArrivalSpec();
+
+    /** Implicit: parse a spec string (fatal on malformed input). */
+    ArrivalSpec(const char *text);
+    ArrivalSpec(const std::string &text);
+
+    /** Parse "name" or "name:k=v,k=v" (see sim::Spec::parse). */
+    static ArrivalSpec parse(const std::string &text);
+};
+
+/**
+ * Interface for an open-loop interarrival-time process. Instances are
+ * stateful (MMPP phase, ramp anchor, trace cursor) and owned by one
+ * ArrivalDriver; they draw all randomness from the driver's Rng so
+ * arrival sequences stay bit-reproducible and isolated from other
+ * components' streams.
+ */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /**
+     * Sample the gap (ns) from the arrival at absolute time @p now to
+     * the next one. Called once per arrival, plus once at start() for
+     * the first arrival.
+     */
+    virtual double nextInterarrivalNs(sim::Rng &rng, sim::Tick now) = 0;
+
+    /** Lifecycle hook: the driver is about to generate arrivals. */
+    virtual void onStart(sim::Tick now) { (void)now; }
+
+    /** Lifecycle hook: the driver stopped generating arrivals. */
+    virtual void onHalt(sim::Tick now) { (void)now; }
+
+    /** Canonical spec string of this instance (for reports). */
+    virtual std::string name() const = 0;
+};
+
+using ArrivalProcessPtr = std::unique_ptr<ArrivalProcess>;
+
+/** Process-wide name -> factory table for arrival processes. */
+class ArrivalRegistry
+{
+  public:
+    /**
+     * Builds a process from its (validated) spec, shaped to a target
+     * long-run average rate in arrivals per second. Processes may
+     * reinterpret the target: "ramp" scales it by a time-varying
+     * multiplier (holding at `to` past the ramp) and "trace:raw=1"
+     * ignores it entirely (see arrivals.cc).
+     */
+    using Factory = std::function<ArrivalProcessPtr(
+        const ArrivalSpec &, double rate_per_sec)>;
+
+    /** The process-wide registry (created on first use). */
+    static ArrivalRegistry &instance();
+
+    /** Register @p factory under @p name; duplicate names are fatal. */
+    void add(const std::string &name, Factory factory);
+
+    bool contains(const std::string &name) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Sorted names joined with ", " (for error messages and help). */
+    std::string namesJoined() const;
+
+    /**
+     * Instantiate the process @p spec names at @p rate_per_sec. An
+     * unregistered name is fatal, with the message listing every
+     * registered name; so is a non-positive rate.
+     */
+    ArrivalProcessPtr make(const ArrivalSpec &spec,
+                           double rate_per_sec) const;
+
+  private:
+    ArrivalRegistry() = default;
+
+    std::map<std::string, Factory> factories_;
+};
+
+/** Registers a factory at static-initialization time. */
+struct ArrivalRegistrar
+{
+    ArrivalRegistrar(const std::string &name,
+                     ArrivalRegistry::Factory factory);
+};
+
+/**
+ * Drives a handler with arrivals drawn from an ArrivalProcess — the
+ * generalization of sim::PoissonProcess to any registered process.
+ * With the "poisson" process it reproduces PoissonProcess's event
+ * stream bit-for-bit at the same seed (same Rng stream, same
+ * scheduling order).
+ */
+class ArrivalDriver
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /**
+     * @param sim      Owning simulator (must outlive the driver).
+     * @param process  The interarrival process (takes ownership).
+     * @param rng_seed Seed for the private interarrival Rng.
+     * @param handler  Invoked once per arrival.
+     */
+    ArrivalDriver(sim::Simulator &sim, ArrivalProcessPtr process,
+                  std::uint64_t rng_seed, Handler handler);
+
+    /** Fire the start hook and schedule the first arrival. */
+    void start();
+
+    /** Cease generating arrivals (already-queued events still fire). */
+    void halt();
+
+    /** Arrivals generated so far. */
+    std::uint64_t arrivals() const { return arrivals_; }
+
+    /** The driven process (e.g. for its name()). */
+    const ArrivalProcess &process() const { return *process_; }
+
+  private:
+    void scheduleNext();
+
+    sim::Simulator &sim_;
+    ArrivalProcessPtr process_;
+    sim::Rng rng_;
+    Handler handler_;
+    bool halted_ = false;
+    std::uint64_t arrivals_ = 0;
+};
+
+} // namespace rpcvalet::net
+
+#endif // RPCVALET_NET_ARRIVAL_HH

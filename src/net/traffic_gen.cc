@@ -22,8 +22,10 @@ TrafficGenerator::TrafficGenerator(sim::Simulator &sim,
                                    app::RpcApplication &app, Fabric &fabric)
     : sim_(sim), params_(params), domain_(domain), app_(app),
       fabric_(fabric),
-      arrivals_(sim, params.arrivalRps, params.seed,
-                [this] { onArrival(); }),
+      arrivals_(sim,
+                ArrivalRegistry::instance().make(params.arrival,
+                                                 params.arrivalRps),
+                params.seed, [this] { onArrival(); }),
       pickRng_(params.seed, /*stream=*/0x7156),
       clientRng_(params.seed, /*stream=*/0xC11E),
       freeSlots_(domain.numNodes), pending_(domain.numNodes)

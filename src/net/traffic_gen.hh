@@ -4,11 +4,13 @@
  *
  * The modeled chip is one node of a 200-node cluster; the other 199
  * nodes are emulated by this generator. It creates synthetic send
- * requests at a Poisson aggregate rate from uniformly random source
- * nodes, obeys per-source send-slot flow control (a source with all S
- * slots in flight defers until a replenish returns), consumes the
- * modeled node's replies, verifies them against the application, and
- * returns reply replenishes after a client-side turnaround delay.
+ * requests at an aggregate rate shaped by a pluggable arrival process
+ * (default: the paper's Poisson; see net/arrival.hh) from uniformly
+ * random source nodes, obeys per-source send-slot flow control (a
+ * source with all S slots in flight defers until a replenish returns),
+ * consumes the modeled node's replies, verifies them against the
+ * application, and returns reply replenishes after a client-side
+ * turnaround delay.
  */
 
 #ifndef RPCVALET_NET_TRAFFIC_GEN_HH
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "app/rpc_application.hh"
+#include "net/arrival.hh"
 #include "net/fabric.hh"
 #include "proto/messaging.hh"
 #include "sim/simulator.hh"
@@ -34,6 +37,8 @@ class TrafficGenerator
     {
         /** Aggregate request arrival rate, requests per second. */
         double arrivalRps = 1e6;
+        /** Interarrival process shaping that rate (net/arrival.hh). */
+        ArrivalSpec arrival{};
         /** The node under test (requests' destination). */
         proto::NodeId targetNode = 0;
         /** Client-side turnaround before replenishing a reply slot. */
@@ -86,7 +91,7 @@ class TrafficGenerator
     proto::MessagingDomain domain_;
     app::RpcApplication &app_;
     Fabric &fabric_;
-    sim::PoissonProcess arrivals_;
+    ArrivalDriver arrivals_;
     sim::Rng pickRng_;
     sim::Rng clientRng_;
 

@@ -22,10 +22,4 @@ makePolicy(const PolicySpec &spec)
     return PolicyRegistry::instance().make(spec);
 }
 
-std::unique_ptr<DispatchPolicy>
-makePolicy(PolicyKind kind)
-{
-    return makePolicy(PolicySpec(kind));
-}
-
 } // namespace rpcvalet::ni

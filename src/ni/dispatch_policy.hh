@@ -141,9 +141,6 @@ class DispatchPolicy
  */
 std::unique_ptr<DispatchPolicy> makePolicy(const PolicySpec &spec);
 
-/** DEPRECATED shim: instantiate via the legacy enum. */
-std::unique_ptr<DispatchPolicy> makePolicy(PolicyKind kind);
-
 } // namespace rpcvalet::ni
 
 #endif // RPCVALET_NI_DISPATCH_POLICY_HH

@@ -1,23 +1,11 @@
 #include "ni/policy_spec.hh"
 
-#include <cerrno>
-#include <cmath>
-#include <cstdlib>
-#include <sstream>
-
-#include "sim/logging.hh"
-
 namespace rpcvalet::ni {
 
-std::string
-policyKindName(PolicyKind kind)
+PolicySpec::PolicySpec()
 {
-    switch (kind) {
-      case PolicyKind::GreedyLeastLoaded: return "greedy";
-      case PolicyKind::RoundRobin: return "rr";
-      case PolicyKind::PowerOfTwoChoices: return "pow2";
-    }
-    sim::panic("unknown PolicyKind");
+    what = "policy";
+    name = "greedy";
 }
 
 PolicySpec::PolicySpec(const char *text) : PolicySpec(parse(text)) {}
@@ -25,181 +13,12 @@ PolicySpec::PolicySpec(const char *text) : PolicySpec(parse(text)) {}
 PolicySpec::PolicySpec(const std::string &text) : PolicySpec(parse(text))
 {}
 
-PolicySpec::PolicySpec(PolicyKind kind) : name(policyKindName(kind)) {}
-
 PolicySpec
 PolicySpec::parse(const std::string &text)
 {
     PolicySpec spec;
-    const std::size_t colon = text.find(':');
-    spec.name = text.substr(0, colon);
-    if (spec.name.empty())
-        sim::fatal("policy spec '" + text + "' has an empty name");
-    if (colon == std::string::npos)
-        return spec;
-
-    const std::string param_text = text.substr(colon + 1);
-    // getline never yields the empty segment after a trailing ':' or
-    // ','; reject those here so "greedy:" and "pow2:d=3," die loudly
-    // like every other malformed spec.
-    if (param_text.empty() || param_text.back() == ',') {
-        sim::fatal("policy spec '" + text +
-                   "': parameter '' is not of the form key=value");
-    }
-    std::stringstream rest(param_text);
-    std::string pair;
-    while (std::getline(rest, pair, ',')) {
-        const std::size_t eq = pair.find('=');
-        if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
-            sim::fatal("policy spec '" + text +
-                       "': parameter '" + pair +
-                       "' is not of the form key=value");
-        }
-        const std::string key = pair.substr(0, eq);
-        if (spec.params.count(key) > 0) {
-            sim::fatal("policy spec '" + text + "': duplicate key '" +
-                       key + "'");
-        }
-        spec.params.emplace(key, pair.substr(eq + 1));
-    }
+    static_cast<sim::Spec &>(spec) = sim::Spec::parse(text, "policy");
     return spec;
-}
-
-std::string
-PolicySpec::toString() const
-{
-    std::string out = name;
-    char sep = ':';
-    for (const auto &[key, value] : params) {
-        out += sep;
-        out += key;
-        out += '=';
-        out += value;
-        sep = ',';
-    }
-    return out;
-}
-
-bool
-PolicySpec::has(const std::string &key) const
-{
-    return params.count(key) > 0;
-}
-
-namespace {
-
-/** Parse a full string as a number; fatal() on trailing junk. */
-double
-parseNumber(const PolicySpec &spec, const std::string &key,
-            const std::string &value, const char **suffix_out = nullptr)
-{
-    errno = 0;
-    char *end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || errno != 0) {
-        sim::fatal("policy '" + spec.toString() + "': parameter '" + key +
-                   "=" + value + "' is not a number");
-    }
-    if (suffix_out != nullptr)
-        *suffix_out = end;
-    else if (*end != '\0')
-        sim::fatal("policy '" + spec.toString() + "': parameter '" + key +
-                   "=" + value + "' has trailing characters");
-    return parsed;
-}
-
-} // namespace
-
-std::uint64_t
-PolicySpec::uintParam(const std::string &key, std::uint64_t fallback) const
-{
-    const auto it = params.find(key);
-    if (it == params.end())
-        return fallback;
-    const double parsed = parseNumber(*this, key, it->second);
-    // Range-check before the cast: converting a non-finite or
-    // unrepresentable double to uint64_t is undefined behavior.
-    if (!std::isfinite(parsed) || parsed < 0.0 || parsed >= 0x1p64 ||
-        parsed != std::floor(parsed)) {
-        sim::fatal("policy '" + toString() + "': parameter '" + key + "=" +
-                   it->second + "' is not a non-negative integer");
-    }
-    return static_cast<std::uint64_t>(parsed);
-}
-
-double
-PolicySpec::doubleParam(const std::string &key, double fallback) const
-{
-    const auto it = params.find(key);
-    if (it == params.end())
-        return fallback;
-    return parseNumber(*this, key, it->second);
-}
-
-sim::Tick
-PolicySpec::tickParam(const std::string &key, sim::Tick fallback) const
-{
-    const auto it = params.find(key);
-    if (it == params.end())
-        return fallback;
-    const char *suffix = nullptr;
-    const double parsed = parseNumber(*this, key, it->second, &suffix);
-    const std::string unit(suffix);
-    double ns = 0.0;
-    if (unit.empty() || unit == "ns")
-        ns = parsed;
-    else if (unit == "us")
-        ns = parsed * 1e3;
-    else if (unit == "ms")
-        ns = parsed * 1e6;
-    else {
-        sim::fatal("policy '" + toString() + "': duration '" + key + "=" +
-                   it->second + "' has unknown unit '" + unit +
-                   "' (use ns, us, or ms)");
-    }
-    // Range-check before sim::nanoseconds casts to Tick: a non-finite
-    // or unrepresentable double is undefined behavior. 2^63 ps is
-    // ~107 days of simulated time, far beyond any run.
-    if (!std::isfinite(ns) || ns < 0.0 ||
-        ns * static_cast<double>(sim::ticksPerNs) >= 0x1p63) {
-        sim::fatal("policy '" + toString() + "': duration '" + key + "=" +
-                   it->second + "' is out of range");
-    }
-    return sim::nanoseconds(ns);
-}
-
-void
-PolicySpec::expectKeys(std::initializer_list<const char *> allowed) const
-{
-    for (const auto &[key, value] : params) {
-        (void)value;
-        bool known = false;
-        for (const char *candidate : allowed)
-            known = known || key == candidate;
-        if (!known) {
-            std::string list;
-            for (const char *candidate : allowed) {
-                if (!list.empty())
-                    list += ", ";
-                list += candidate;
-            }
-            sim::fatal("policy '" + toString() +
-                       "': unknown parameter '" + key + "' (accepted: " +
-                       (list.empty() ? "none" : list) + ")");
-        }
-    }
-}
-
-bool
-PolicySpec::operator==(const PolicySpec &other) const
-{
-    return name == other.name && params == other.params;
-}
-
-bool
-PolicySpec::operator!=(const PolicySpec &other) const
-{
-    return !(*this == other);
 }
 
 } // namespace rpcvalet::ni

@@ -3,7 +3,7 @@
  * Parameterized dispatch-policy specifications.
  *
  * A PolicySpec names a registered policy plus its parameters, parsed
- * from a compact string form:
+ * from the compact sim::Spec string form:
  *
  *   "greedy"                           no parameters
  *   "pow2:d=3"                         one integer parameter
@@ -13,86 +13,33 @@
  * Specs round-trip through toString() (keys print in sorted order) and
  * are what SystemParams carries instead of a closed policy enum, so
  * benches and configs select policies by string without recompiling
- * any layer. The legacy PolicyKind enum survives one more PR as a thin
- * shim that converts to the equivalent spec.
+ * any layer. The parsing/typed-accessor machinery is the generic
+ * sim::Spec (shared with net::ArrivalSpec); this type only pins the
+ * diagnostic label and the "greedy" default. The legacy PolicyKind
+ * enum shim announced in the previous redesign has been removed.
  */
 
 #ifndef RPCVALET_NI_POLICY_SPEC_HH
 #define RPCVALET_NI_POLICY_SPEC_HH
 
-#include <cstdint>
-#include <initializer_list>
-#include <map>
 #include <string>
 
-#include "sim/types.hh"
+#include "sim/spec.hh"
 
 namespace rpcvalet::ni {
 
-/**
- * DEPRECATED closed enum of the original three policies. Kept for one
- * PR as a conversion shim onto PolicySpec; use spec strings instead.
- */
-enum class PolicyKind
-{
-    GreedyLeastLoaded,
-    RoundRobin,
-    PowerOfTwoChoices,
-};
-
-/** Registry name the deprecated enum value maps to. */
-std::string policyKindName(PolicyKind kind);
-
 /** A policy selection: registry name plus key=value parameters. */
-struct PolicySpec
+struct PolicySpec : public sim::Spec
 {
-    /** Registry key (e.g. "greedy", "jbsq"). */
-    std::string name = "greedy";
-    /** Parameters; sorted keys make toString() deterministic. */
-    std::map<std::string, std::string> params;
-
-    PolicySpec() = default;
+    /** Default policy: the paper's greedy least-loaded dispatcher. */
+    PolicySpec();
 
     /** Implicit: parse a spec string (fatal on malformed input). */
     PolicySpec(const char *text);
     PolicySpec(const std::string &text);
 
-    /** Implicit: DEPRECATED shim from the legacy enum. */
-    PolicySpec(PolicyKind kind);
-
-    /**
-     * Parse "name" or "name:k=v,k=v". fatal() on an empty name, an
-     * empty key, a missing '=', a duplicate key, or an empty
-     * parameter segment (trailing ':' or ',').
-     */
+    /** Parse "name" or "name:k=v,k=v" (see sim::Spec::parse). */
     static PolicySpec parse(const std::string &text);
-
-    /** Canonical string form; parse(toString()) round-trips. */
-    std::string toString() const;
-
-    bool has(const std::string &key) const;
-
-    /** Unsigned-integer parameter, @p fallback when absent. */
-    std::uint64_t uintParam(const std::string &key,
-                            std::uint64_t fallback) const;
-
-    /** Floating-point parameter, @p fallback when absent. */
-    double doubleParam(const std::string &key, double fallback) const;
-
-    /**
-     * Duration parameter, @p fallback when absent. Accepts a bare
-     * number (nanoseconds) or an explicit "ns"/"us"/"ms" suffix.
-     */
-    sim::Tick tickParam(const std::string &key, sim::Tick fallback) const;
-
-    /**
-     * fatal() when a parameter key is not in @p allowed — policies call
-     * this so "pow2:dd=3" dies loudly instead of silently defaulting.
-     */
-    void expectKeys(std::initializer_list<const char *> allowed) const;
-
-    bool operator==(const PolicySpec &other) const;
-    bool operator!=(const PolicySpec &other) const;
 };
 
 } // namespace rpcvalet::ni

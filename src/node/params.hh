@@ -91,8 +91,7 @@ struct SystemParams
      * Core-selection policy for hardware dispatchers, looked up in the
      * ni::PolicyRegistry by spec string — e.g. "greedy" (default),
      * "rr", "pow2:d=3", "jbsq:d=2", "stale-jsq:staleness=50ns",
-     * "delay-aware". Assigning the deprecated ni::PolicyKind enum
-     * still works for one PR via an implicit conversion shim.
+     * "delay-aware".
      */
     ni::PolicySpec policy{};
     /** Max outstanding RPCs per core (§4.3: 2). */

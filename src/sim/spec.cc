@@ -1,0 +1,187 @@
+#include "sim/spec.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::sim {
+
+Spec
+Spec::parse(const std::string &text, const std::string &what)
+{
+    Spec spec;
+    spec.what = what;
+    const std::size_t colon = text.find(':');
+    spec.name = text.substr(0, colon);
+    if (spec.name.empty())
+        fatal(what + " spec '" + text + "' has an empty name");
+    if (colon == std::string::npos)
+        return spec;
+
+    const std::string param_text = text.substr(colon + 1);
+    // getline never yields the empty segment after a trailing ':' or
+    // ','; reject those here so "greedy:" and "pow2:d=3," die loudly
+    // like every other malformed spec.
+    if (param_text.empty() || param_text.back() == ',') {
+        fatal(what + " spec '" + text +
+              "': parameter '' is not of the form key=value");
+    }
+    std::stringstream rest(param_text);
+    std::string pair;
+    while (std::getline(rest, pair, ',')) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+            fatal(what + " spec '" + text + "': parameter '" + pair +
+                  "' is not of the form key=value");
+        }
+        const std::string key = pair.substr(0, eq);
+        if (spec.params.count(key) > 0) {
+            fatal(what + " spec '" + text + "': duplicate key '" + key +
+                  "'");
+        }
+        spec.params.emplace(key, pair.substr(eq + 1));
+    }
+    return spec;
+}
+
+std::string
+Spec::toString() const
+{
+    std::string out = name;
+    char sep = ':';
+    for (const auto &[key, value] : params) {
+        out += sep;
+        out += key;
+        out += '=';
+        out += value;
+        sep = ',';
+    }
+    return out;
+}
+
+bool
+Spec::has(const std::string &key) const
+{
+    return params.count(key) > 0;
+}
+
+namespace {
+
+/** Parse a full string as a number; fatal() on trailing junk. */
+double
+parseNumber(const Spec &spec, const std::string &key,
+            const std::string &value, const char **suffix_out = nullptr)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || errno != 0) {
+        fatal(spec.what + " '" + spec.toString() + "': parameter '" +
+              key + "=" + value + "' is not a number");
+    }
+    if (suffix_out != nullptr)
+        *suffix_out = end;
+    else if (*end != '\0')
+        fatal(spec.what + " '" + spec.toString() + "': parameter '" +
+              key + "=" + value + "' has trailing characters");
+    return parsed;
+}
+
+} // namespace
+
+std::uint64_t
+Spec::uintParam(const std::string &key, std::uint64_t fallback) const
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    const double parsed = parseNumber(*this, key, it->second);
+    // Range-check before the cast: converting a non-finite or
+    // unrepresentable double to uint64_t is undefined behavior.
+    if (!std::isfinite(parsed) || parsed < 0.0 || parsed >= 0x1p64 ||
+        parsed != std::floor(parsed)) {
+        fatal(what + " '" + toString() + "': parameter '" + key + "=" +
+              it->second + "' is not a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(parsed);
+}
+
+double
+Spec::doubleParam(const std::string &key, double fallback) const
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    return parseNumber(*this, key, it->second);
+}
+
+Tick
+Spec::tickParam(const std::string &key, Tick fallback) const
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    const char *suffix = nullptr;
+    const double parsed = parseNumber(*this, key, it->second, &suffix);
+    const std::string unit(suffix);
+    double ns = 0.0;
+    if (unit.empty() || unit == "ns")
+        ns = parsed;
+    else if (unit == "us")
+        ns = parsed * 1e3;
+    else if (unit == "ms")
+        ns = parsed * 1e6;
+    else {
+        fatal(what + " '" + toString() + "': duration '" + key + "=" +
+              it->second + "' has unknown unit '" + unit +
+              "' (use ns, us, or ms)");
+    }
+    // Range-check before sim::nanoseconds casts to Tick: a non-finite
+    // or unrepresentable double is undefined behavior. 2^63 ps is
+    // ~107 days of simulated time, far beyond any run.
+    if (!std::isfinite(ns) || ns < 0.0 ||
+        ns * static_cast<double>(ticksPerNs) >= 0x1p63) {
+        fatal(what + " '" + toString() + "': duration '" + key + "=" +
+              it->second + "' is out of range");
+    }
+    return nanoseconds(ns);
+}
+
+void
+Spec::expectKeys(std::initializer_list<const char *> allowed) const
+{
+    for (const auto &[key, value] : params) {
+        (void)value;
+        bool known = false;
+        for (const char *candidate : allowed)
+            known = known || key == candidate;
+        if (!known) {
+            std::string list;
+            for (const char *candidate : allowed) {
+                if (!list.empty())
+                    list += ", ";
+                list += candidate;
+            }
+            fatal(what + " '" + toString() + "': unknown parameter '" +
+                  key + "' (accepted: " +
+                  (list.empty() ? "none" : list) + ")");
+        }
+    }
+}
+
+bool
+Spec::operator==(const Spec &other) const
+{
+    return name == other.name && params == other.params;
+}
+
+bool
+Spec::operator!=(const Spec &other) const
+{
+    return !(*this == other);
+}
+
+} // namespace rpcvalet::sim

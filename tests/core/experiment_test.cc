@@ -116,22 +116,23 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
-TEST(Experiment, DefaultSpecBitIdenticalToLegacyPolicyKindPath)
+TEST(Experiment, DefaultSpecsBitIdenticalToExplicitStrings)
 {
-    // The PolicySpec redesign must not perturb a single decision: the
-    // default spec, the explicit "greedy" string, and the deprecated
-    // PolicyKind shim all reproduce identical RunStats for one seed.
-    auto run_with = [](const ni::PolicySpec &policy) {
+    // Neither the PolicySpec nor the ArrivalSpec plumbing may perturb
+    // a single decision: the default-constructed specs and their
+    // explicit string forms reproduce identical RunStats for one seed.
+    auto run_with = [](const ni::PolicySpec &policy,
+                       const net::ArrivalSpec &arrival) {
         ExperimentConfig cfg =
             smallConfig(ni::DispatchMode::SingleQueue, 14e6);
         cfg.system.policy = policy;
+        cfg.arrival = arrival;
         app::HerdApp app;
         return runExperiment(cfg, app);
     };
-    const RunStats via_default = run_with(ni::PolicySpec{});
-    const RunStats via_string = run_with("greedy");
-    const RunStats via_shim =
-        run_with(ni::PolicyKind::GreedyLeastLoaded);
+    const RunStats via_default =
+        run_with(ni::PolicySpec{}, net::ArrivalSpec{});
+    const RunStats via_string = run_with("greedy", "poisson");
 
     auto expect_identical = [](const RunStats &a, const RunStats &b) {
         EXPECT_DOUBLE_EQ(a.point.meanNs, b.point.meanNs);
@@ -150,7 +151,31 @@ TEST(Experiment, DefaultSpecBitIdenticalToLegacyPolicyKindPath)
                          b.breakdown.queueWait.meanNs);
     };
     expect_identical(via_default, via_string);
-    expect_identical(via_default, via_shim);
+}
+
+TEST(ExperimentDeath, UnknownArrivalProcessIsFatal)
+{
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 10e6);
+    cfg.arrival.name = "nonesuch";
+    app::HerdApp app;
+    EXPECT_EXIT(runExperiment(cfg, app), ::testing::ExitedWithCode(1),
+                "unknown arrival process 'nonesuch'.*poisson");
+}
+
+TEST(Experiment, BurstyArrivalsInflateTheTailAtEqualLoad)
+{
+    // The motivation for the arrival subsystem: at the same average
+    // rate, MMPP bursts must produce a worse p99 than Poisson.
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 14e6);
+    app::HerdApp poisson_app;
+    const RunStats poisson = runExperiment(cfg, poisson_app);
+    cfg.arrival = "mmpp2:burst=0.1,ratio=8,dwell=20us";
+    app::HerdApp bursty_app;
+    const RunStats bursty = runExperiment(cfg, bursty_app);
+    EXPECT_EQ(bursty.verifyFailures, 0u);
+    EXPECT_GT(bursty.point.p99Ns, 1.5 * poisson.point.p99Ns);
 }
 
 TEST(Experiment, SingleQueueBalancesLoadAcrossCores)

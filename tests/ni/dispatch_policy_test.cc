@@ -213,20 +213,6 @@ TEST(PolicyNames, ReflectSpecs)
               "delay-aware:alpha=0.5,init=1000ns");
 }
 
-TEST(PolicyKindShim, LegacyEnumStillResolves)
-{
-    // Deprecated PolicyKind maps onto registry names for one PR.
-    EXPECT_EQ(ni::policyKindName(ni::PolicyKind::GreedyLeastLoaded),
-              "greedy");
-    EXPECT_EQ(ni::policyKindName(ni::PolicyKind::RoundRobin), "rr");
-    EXPECT_EQ(ni::policyKindName(ni::PolicyKind::PowerOfTwoChoices),
-              "pow2");
-    EXPECT_EQ(makePolicy(ni::PolicyKind::GreedyLeastLoaded)->name(),
-              "greedy");
-    const ni::PolicySpec shimmed = ni::PolicyKind::PowerOfTwoChoices;
-    EXPECT_EQ(shimmed, ni::PolicySpec("pow2"));
-}
-
 TEST(ModeNames, MatchPaperNotation)
 {
     EXPECT_EQ(ni::dispatchModeName(ni::DispatchMode::SingleQueue), "1x16");

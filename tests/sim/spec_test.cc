@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the generic sim::Spec machinery shared by the policy and
+ * arrival layers: parsing, round-tripping, typed accessors, and the
+ * `what` diagnostic label. The derived-type specifics live in
+ * tests/ni/policy_registry_test.cc and tests/net/arrival_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/spec.hh"
+#include "sim/types.hh"
+
+namespace {
+
+using rpcvalet::sim::Spec;
+
+TEST(SimSpec, ParsesBareNameAndParams)
+{
+    const Spec bare = Spec::parse("widget", "widget");
+    EXPECT_EQ(bare.name, "widget");
+    EXPECT_TRUE(bare.params.empty());
+    EXPECT_EQ(bare.toString(), "widget");
+
+    const Spec spec = Spec::parse("w:b=2,a=1", "widget");
+    EXPECT_EQ(spec.name, "w");
+    EXPECT_EQ(spec.uintParam("a", 0), 1u);
+    EXPECT_EQ(spec.uintParam("b", 0), 2u);
+    // Keys print sorted, independent of input order.
+    EXPECT_EQ(spec.toString(), "w:a=1,b=2");
+    EXPECT_EQ(Spec::parse(spec.toString(), "widget"), spec);
+}
+
+TEST(SimSpec, IdentityIgnoresDiagnosticLabel)
+{
+    const Spec as_widget = Spec::parse("x:k=1", "widget");
+    const Spec as_gadget = Spec::parse("x:k=1", "gadget");
+    EXPECT_EQ(as_widget, as_gadget);
+    EXPECT_NE(as_widget, Spec::parse("x:k=2", "widget"));
+}
+
+TEST(SimSpec, TypedAccessorsAndFallbacks)
+{
+    const Spec spec = Spec::parse("x:f=0.25,n=7,t=1.5us", "widget");
+    EXPECT_DOUBLE_EQ(spec.doubleParam("f", 0.0), 0.25);
+    EXPECT_EQ(spec.uintParam("n", 0), 7u);
+    EXPECT_EQ(spec.tickParam("t", 0), rpcvalet::sim::microseconds(1.5));
+    EXPECT_DOUBLE_EQ(spec.doubleParam("missing", 3.5), 3.5);
+    EXPECT_EQ(spec.uintParam("missing", 9), 9u);
+    EXPECT_EQ(spec.tickParam("missing", 123), 123u);
+    EXPECT_TRUE(spec.has("f"));
+    EXPECT_FALSE(spec.has("missing"));
+}
+
+TEST(SimSpecDeath, ErrorsCarryTheSubsystemLabel)
+{
+    // Diagnostics must say which subsystem's spec is malformed.
+    EXPECT_EXIT(Spec::parse(":k=1", "widget"),
+                ::testing::ExitedWithCode(1),
+                "widget spec ':k=1' has an empty name");
+    EXPECT_EXIT(Spec::parse("x:k", "gadget"),
+                ::testing::ExitedWithCode(1), "gadget spec.*key=value");
+    EXPECT_EXIT(Spec::parse("x:k=1", "widget").expectKeys({"other"}),
+                ::testing::ExitedWithCode(1),
+                "widget 'x:k=1': unknown parameter 'k'");
+    EXPECT_EXIT(Spec::parse("x:k=abc", "widget").uintParam("k", 0),
+                ::testing::ExitedWithCode(1),
+                "widget 'x:k=abc'.*not a number");
+}
+
+} // namespace
