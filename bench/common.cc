@@ -1,5 +1,6 @@
 #include "common.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,11 @@
 namespace rpcvalet::bench {
 
 namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+/** Bench start (set in parseArgs), for the wall-clock perf summary. */
+WallClock::time_point g_benchStart;
 
 /**
  * Everything destined for the --json report, accumulated as the bench
@@ -83,12 +89,51 @@ jsonNumber(std::FILE *f, double v)
         std::fputs("null", f);
 }
 
+/**
+ * Wall-clock seconds and simulator events/sec for this bench run —
+ * the perf trajectory every bench reports (printed at exit, and
+ * recorded in the --json "perf" object so BENCH_*.json artifacts
+ * track kernel throughput across PRs).
+ */
+struct PerfSummary
+{
+    double wallSeconds = 0.0;
+    std::uint64_t simEvents = 0;
+    double eventsPerSec = 0.0;
+};
+
+PerfSummary
+perfSummary()
+{
+    PerfSummary p;
+    p.wallSeconds =
+        std::chrono::duration<double>(WallClock::now() - g_benchStart)
+            .count();
+    p.simEvents = core::totalSimulatedEvents();
+    if (p.wallSeconds > 0.0)
+        p.eventsPerSec =
+            static_cast<double>(p.simEvents) / p.wallSeconds;
+    return p;
+}
+
+void
+printPerfSummary()
+{
+    const PerfSummary p = perfSummary();
+    std::printf("[perf] %.2f s wall, %.3g simulator events, "
+                "%.3g events/s\n",
+                p.wallSeconds, static_cast<double>(p.simEvents),
+                p.eventsPerSec);
+}
+
 void
 writeJsonReport()
 {
     const JsonReport &r = report();
-    if (!r.enabled)
+    if (!r.enabled) {
+        printPerfSummary();
         return;
+    }
     std::FILE *f = std::fopen(r.path.c_str(), "w");
     if (f == nullptr) {
         sim::warn("--json: cannot write '" + r.path + "'");
@@ -150,8 +195,16 @@ writeJsonReport()
         jsonNumber(f, c.relTol);
         std::fprintf(f, ", \"holds\": %s}", c.holds ? "true" : "false");
     }
-    std::fputs("]\n}\n", f);
+    const PerfSummary p = perfSummary();
+    std::fputs("],\n  \"perf\": {\"wall_seconds\": ", f);
+    jsonNumber(f, p.wallSeconds);
+    std::fprintf(f, ", \"sim_events\": %llu",
+                 static_cast<unsigned long long>(p.simEvents));
+    std::fputs(", \"events_per_sec\": ", f);
+    jsonNumber(f, p.eventsPerSec);
+    std::fputs("}\n}\n", f);
     std::fclose(f);
+    printPerfSummary();
     std::printf("[json] wrote %s\n", r.path.c_str());
 }
 
@@ -161,6 +214,7 @@ BenchArgs
 parseArgs(int argc, char **argv)
 {
     BenchArgs args;
+    g_benchStart = WallClock::now();
     const char *fast_env = std::getenv("RPCVALET_BENCH_FAST");
     if (fast_env != nullptr && std::strcmp(fast_env, "0") != 0)
         args.fast = true;
@@ -186,9 +240,18 @@ parseArgs(int argc, char **argv)
             warmup_set = true;
         } else if (const char *seed = value("--seed="))
             args.seed = static_cast<std::uint64_t>(std::atoll(seed));
-        else if (const char *threads = value("--threads="))
-            args.threads = static_cast<unsigned>(std::atoi(threads));
-        else if (const char *policy = value("--policy="))
+        else if (const char *threads = value("--threads=")) {
+            // atoi would silently turn junk or negatives into a bogus
+            // worker count; a sweep with 0 threads hangs and -4 wraps.
+            char *end = nullptr;
+            const long parsed = std::strtol(threads, &end, 10);
+            if (end == threads || *end != '\0' || parsed <= 0 ||
+                parsed > 1024) {
+                sim::fatal("--threads=" + std::string(threads) +
+                           ": expected an integer in [1, 1024]");
+            }
+            args.threads = static_cast<unsigned>(parsed);
+        } else if (const char *policy = value("--policy="))
             args.policy = policy;
         else if (const char *arrival = value("--arrival="))
             args.arrival = arrival;
@@ -223,10 +286,11 @@ parseArgs(int argc, char **argv)
             name = name.substr(6);
         r.benchName = name;
         r.args = args;
-        // Write whatever accumulated even if the bench exits early
-        // through fatal() (which calls exit(1), running atexit hooks).
-        std::atexit(writeJsonReport);
     }
+    // Report wall-clock and events/sec at exit — and write the JSON
+    // report when enabled — even if the bench exits early through
+    // fatal() (which calls exit(1), running atexit hooks).
+    std::atexit(writeJsonReport);
     return args;
 }
 

@@ -9,7 +9,8 @@
  *   --rpcs=N      measured RPCs per point
  *   --warmup=N    completions discarded before measurement per point
  *   --seed=N      experiment seed
- *   --threads=N   worker threads for sweep points
+ *   --threads=N   worker threads for sweep points (fatal unless an
+ *                 integer in [1, 1024])
  *   --policy=SPEC dispatch-policy spec (registry string such as
  *                 "greedy" or "jbsq:d=2"); empty keeps each bench's
  *                 default. Overrides the policy in every
@@ -24,10 +25,13 @@
  *                 keeps each bench's default (the paper's Poisson).
  *                 ablation_burstiness narrows its arrival sweep to
  *                 just this spec. Ignored by the analytical benches.
- *   --json=FILE   write results (series, claims, args) as JSON at
- *                 exit — the machine-readable feed behind CI's
+ *   --json=FILE   write results (series, claims, args, perf) as JSON
+ *                 at exit — the machine-readable feed behind CI's
  *                 bench-results artifact and the BENCH_*.json perf
- *                 trajectory.
+ *                 trajectory. The "perf" object carries wall_seconds,
+ *                 sim_events and events_per_sec; the same numbers are
+ *                 printed in every bench's exit summary ([perf] line)
+ *                 so kernel throughput is tracked per run.
  * and honors RPCVALET_BENCH_FAST=1 (quarter-size runs for smoke use).
  * Fast mode only shrinks the *defaults*: an explicit --points/--rpcs/
  * --warmup always wins, so "RPCVALET_BENCH_FAST=1 bench --points=2

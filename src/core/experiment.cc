@@ -10,6 +10,19 @@
 
 namespace rpcvalet::core {
 
+namespace {
+
+/** Events executed across all runs in this process (bench perf feed). */
+std::atomic<std::uint64_t> g_simulatedEvents{0};
+
+} // namespace
+
+std::uint64_t
+totalSimulatedEvents()
+{
+    return g_simulatedEvents.load(std::memory_order_relaxed);
+}
+
 RunStats
 runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
 {
@@ -69,6 +82,9 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     out.flowControlDeferrals = tg.flowControlDeferrals();
     out.verifyFailures = tg.verificationFailures();
     out.simulatedUs = sim::toUs(sim.now());
+    out.executedEvents = sim.executedEvents();
+    g_simulatedEvents.fetch_add(sim.executedEvents(),
+                                std::memory_order_relaxed);
     out.perCoreServed = node.perCoreServed();
     out.recvSlotPeak = node.recvSlotPeak();
     out.rendezvousRequests = tg.rendezvousRequests();

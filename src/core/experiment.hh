@@ -96,6 +96,9 @@ struct RunStats
     std::uint64_t verifyFailures = 0;
     /** Total simulated time, us. */
     double simulatedUs = 0.0;
+    /** Simulator events executed by this run (kernel-determinism
+     *  fingerprint: any change in event flow moves this count). */
+    std::uint64_t executedEvents = 0;
     /** Per-core served counts (load-balance diagnostics). */
     std::vector<std::uint64_t> perCoreServed;
     /** Peak busy receive slots. */
@@ -150,6 +153,14 @@ double estimateCapacityRps(const node::SystemParams &system,
 
 /** Convenience: n evenly spaced utilization points in [lo, hi]. */
 std::vector<double> loadGrid(double lo, double hi, std::size_t n);
+
+/**
+ * Process-wide count of simulator events executed by every
+ * runExperiment call so far (thread-safe; sweeps run threaded). The
+ * bench harness divides it by wall-clock time to report kernel
+ * events/sec in each bench's summary and --json output.
+ */
+std::uint64_t totalSimulatedEvents();
 
 } // namespace rpcvalet::core
 

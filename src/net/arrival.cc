@@ -116,7 +116,8 @@ ArrivalDriver::ArrivalDriver(sim::Simulator &sim,
                              ArrivalProcessPtr process,
                              std::uint64_t rng_seed, Handler handler)
     : sim_(sim), process_(std::move(process)),
-      rng_(rng_seed, /*stream=*/0x90150), handler_(std::move(handler))
+      rng_(rng_seed, /*stream=*/0x90150), handler_(std::move(handler)),
+      event_(*this, "arrival")
 {
     RV_ASSERT(process_ != nullptr, "arrival driver needs a process");
     RV_ASSERT(handler_ != nullptr, "arrival handler missing");
@@ -137,17 +138,21 @@ ArrivalDriver::halt()
 }
 
 void
+ArrivalDriver::fire()
+{
+    if (halted_)
+        return;
+    ++arrivals_;
+    handler_();
+    scheduleNext();
+}
+
+void
 ArrivalDriver::scheduleNext()
 {
     const sim::Tick gap = sim::nanoseconds(
         process_->nextInterarrivalNs(rng_, sim_.now()));
-    sim_.schedule(gap, [this] {
-        if (halted_)
-            return;
-        ++arrivals_;
-        handler_();
-        scheduleNext();
-    });
+    sim_.schedule(event_, gap);
 }
 
 } // namespace rpcvalet::net

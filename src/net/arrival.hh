@@ -146,7 +146,8 @@ struct ArrivalRegistrar
  * generalization of sim::PoissonProcess to any registered process.
  * With the "poisson" process it reproduces PoissonProcess's event
  * stream bit-for-bit at the same seed (same Rng stream, same
- * scheduling order).
+ * scheduling order). The driver owns one reusable member event, so
+ * steady-state arrival generation never allocates.
  */
 class ArrivalDriver
 {
@@ -175,6 +176,7 @@ class ArrivalDriver
     const ArrivalProcess &process() const { return *process_; }
 
   private:
+    void fire();
     void scheduleNext();
 
     sim::Simulator &sim_;
@@ -183,6 +185,7 @@ class ArrivalDriver
     Handler handler_;
     bool halted_ = false;
     std::uint64_t arrivals_ = 0;
+    sim::MemberEvent<ArrivalDriver, &ArrivalDriver::fire> event_;
 };
 
 } // namespace rpcvalet::net

@@ -28,18 +28,35 @@ Fabric::connectDefault(Sink sink)
 void
 Fabric::send(proto::Packet pkt)
 {
-    const proto::NodeId dst = pkt.hdr.dst;
-    sim_.schedule(latency_, [this, dst, pkt = std::move(pkt)]() mutable {
-        ++delivered_;
-        auto it = sinks_.find(dst);
-        if (it != sinks_.end()) {
-            it->second(std::move(pkt));
-            return;
-        }
-        RV_ASSERT(defaultSink_ != nullptr,
-                  "packet addressed to unconnected node");
-        defaultSink_(std::move(pkt));
-    });
+    DeliverEvent *ev = pool_.acquire();
+    ev->fabric = this;
+    ev->pkt = std::move(pkt);
+    sim_.schedule(*ev, latency_);
+}
+
+void
+Fabric::DeliverEvent::process()
+{
+    Fabric *f = fabric;
+    proto::Packet p = std::move(pkt);
+    // Recycle before the sink runs: a sink that sends again may reuse
+    // this very slot.
+    f->pool_.release(this);
+    f->deliver(std::move(p));
+}
+
+void
+Fabric::deliver(proto::Packet pkt)
+{
+    ++delivered_;
+    auto it = sinks_.find(pkt.hdr.dst);
+    if (it != sinks_.end()) {
+        it->second(std::move(pkt));
+        return;
+    }
+    RV_ASSERT(defaultSink_ != nullptr,
+              "packet addressed to unconnected node");
+    defaultSink_(std::move(pkt));
 }
 
 } // namespace rpcvalet::net

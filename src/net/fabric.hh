@@ -46,11 +46,27 @@ class Fabric
     std::uint64_t delivered() const { return delivered_; }
 
   private:
+    /** In-flight packet: pooled, reused across deliveries. */
+    struct DeliverEvent : sim::Event
+    {
+        Fabric *fabric = nullptr;
+        proto::Packet pkt;
+
+        void process() override;
+        const char *description() const override
+        {
+            return "fabric-deliver";
+        }
+    };
+
+    void deliver(proto::Packet pkt);
+
     sim::Simulator &sim_;
     sim::Tick latency_;
     std::unordered_map<proto::NodeId, Sink> sinks_;
     Sink defaultSink_;
     std::uint64_t delivered_ = 0;
+    sim::EventPool<DeliverEvent> pool_;
 };
 
 } // namespace rpcvalet::net

@@ -28,10 +28,42 @@ NiBackend::receivePacket(proto::Packet pkt)
     ingressFreeAt_ = start + params_.packetOccupancy;
     ingressBusy_ += params_.packetOccupancy;
     ++packetsReceived_;
-    sim_.scheduleAt(ingressFreeAt_,
-                    [this, pkt = std::move(pkt), arrival]() mutable {
-                        processIngress(std::move(pkt), arrival);
-                    });
+    IngressEvent *ev = ingressPool_.acquire();
+    ev->backend = this;
+    ev->pkt = std::move(pkt);
+    ev->arrival = arrival;
+    sim_.scheduleAt(*ev, ingressFreeAt_);
+}
+
+void
+NiBackend::IngressEvent::process()
+{
+    NiBackend *b = backend;
+    proto::Packet p = std::move(pkt);
+    const sim::Tick t = arrival;
+    // Recycle first: processing can receive/forward more packets.
+    b->ingressPool_.release(this);
+    b->processIngress(std::move(p), t);
+}
+
+void
+NiBackend::InjectEvent::process()
+{
+    NiBackend *b = backend;
+    proto::Packet p = std::move(pkt);
+    if (countOnFire)
+        ++b->packetsSent_;
+    b->injectPool_.release(this);
+    b->inject_(std::move(p));
+}
+
+void
+NiBackend::CompletionEvent::process()
+{
+    NiBackend *b = backend;
+    const proto::CompletionQueueEntry entry = cqe;
+    b->completionPool_.release(this);
+    b->onComplete_(b->params_.id, entry);
 }
 
 void
@@ -60,11 +92,11 @@ NiBackend::processIngress(proto::Packet pkt, sim::Tick arrival)
             read.hdr.totalBlocks = 1;
             read.hdr.msgBytes = full;
             ++rendezvousPulls_;
-            sim_.schedule(memory_.counterUpdateLatency(),
-                          [this, read = std::move(read)]() mutable {
-                              ++packetsSent_;
-                              inject_(std::move(read));
-                          });
+            InjectEvent *ev = injectPool_.acquire();
+            ev->backend = this;
+            ev->pkt = std::move(read);
+            ev->countOnFire = true;
+            sim_.schedule(*ev, memory_.counterUpdateLatency());
             break;
         }
         signalCompletion(index, pkt.hdr.src);
@@ -106,8 +138,10 @@ NiBackend::signalCompletion(std::uint32_t index, proto::NodeId src)
     ++completions_;
     // The completion is known one counter update after the last
     // packet clears the pipeline.
-    sim_.schedule(memory_.counterUpdateLatency(),
-                  [this, cqe] { onComplete_(params_.id, cqe); });
+    CompletionEvent *ev = completionPool_.acquire();
+    ev->backend = this;
+    ev->cqe = cqe;
+    sim_.schedule(*ev, memory_.counterUpdateLatency());
 }
 
 void
@@ -123,9 +157,11 @@ NiBackend::transmitMessage(proto::OpType op, proto::NodeId self,
         const sim::Tick start = std::max(ready, egressFreeAt_);
         egressFreeAt_ = start + params_.packetOccupancy;
         ++packetsSent_;
-        sim_.scheduleAt(egressFreeAt_, [this, pkt = std::move(pkt)]() mutable {
-            inject_(std::move(pkt));
-        });
+        InjectEvent *ev = injectPool_.acquire();
+        ev->backend = this;
+        ev->pkt = std::move(pkt);
+        ev->countOnFire = false;
+        sim_.scheduleAt(*ev, egressFreeAt_);
     }
 }
 

@@ -82,6 +82,48 @@ class NiBackend
     sim::Tick ingressBusyTicks() const { return ingressBusy_; }
 
   private:
+    /** Packet waiting out the ingress pipeline occupancy (pooled). */
+    struct IngressEvent : sim::Event
+    {
+        NiBackend *backend = nullptr;
+        proto::Packet pkt;
+        sim::Tick arrival = 0;
+
+        void process() override;
+        const char *description() const override
+        {
+            return "ni-ingress";
+        }
+    };
+
+    /** Packet leaving for the fabric: egress streams and rendezvous
+     *  pulls (the latter count packetsSent at fire time). */
+    struct InjectEvent : sim::Event
+    {
+        NiBackend *backend = nullptr;
+        proto::Packet pkt;
+        bool countOnFire = false;
+
+        void process() override;
+        const char *description() const override
+        {
+            return "ni-inject";
+        }
+    };
+
+    /** Message-completion notification riding the counter update. */
+    struct CompletionEvent : sim::Event
+    {
+        NiBackend *backend = nullptr;
+        proto::CompletionQueueEntry cqe;
+
+        void process() override;
+        const char *description() const override
+        {
+            return "ni-completion";
+        }
+    };
+
     void processIngress(proto::Packet pkt, sim::Tick arrival);
     void signalCompletion(std::uint32_t index, proto::NodeId src);
 
@@ -100,6 +142,9 @@ class NiBackend
     std::uint64_t packetsSent_ = 0;
     std::uint64_t completions_ = 0;
     std::uint64_t rendezvousPulls_ = 0;
+    sim::EventPool<IngressEvent> ingressPool_;
+    sim::EventPool<InjectEvent> injectPool_;
+    sim::EventPool<CompletionEvent> completionPool_;
 };
 
 } // namespace rpcvalet::ni

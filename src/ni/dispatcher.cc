@@ -80,12 +80,23 @@ Dispatcher::tryDispatch()
 
         const sim::Tick start = std::max(sim_.now(), pipeFreeAt_);
         pipeFreeAt_ = start + params_.decisionOccupancy;
-        sim_.scheduleAt(pipeFreeAt_,
-                        [this, core = *target,
-                         entry = std::move(entry)]() mutable {
-                            deliver_(core, std::move(entry));
-                        });
+        DeliveryEvent *ev = deliveryPool_.acquire();
+        ev->disp = this;
+        ev->core = *target;
+        ev->entry = std::move(entry);
+        sim_.scheduleAt(*ev, pipeFreeAt_);
     }
+}
+
+void
+Dispatcher::DeliveryEvent::process()
+{
+    Dispatcher *d = disp;
+    const proto::CoreId c = core;
+    proto::CompletionQueueEntry e = std::move(entry);
+    // Recycle first: the delivery hook can trigger another dispatch.
+    d->deliveryPool_.release(this);
+    d->deliver_(c, std::move(e));
 }
 
 } // namespace rpcvalet::ni

@@ -85,6 +85,21 @@ class Dispatcher
     std::uint32_t outstanding(proto::CoreId core) const;
 
   private:
+    /** A decided CQE riding out the pipeline occupancy: pooled and
+     *  reused, since several can be in flight behind the pipe. */
+    struct DeliveryEvent : sim::Event
+    {
+        Dispatcher *disp = nullptr;
+        proto::CoreId core = 0;
+        proto::CompletionQueueEntry entry;
+
+        void process() override;
+        const char *description() const override
+        {
+            return "dispatch-delivery";
+        }
+    };
+
     void tryDispatch();
     DispatchContext context();
 
@@ -98,6 +113,7 @@ class Dispatcher
     sim::Rng rng_;
     sim::Tick pipeFreeAt_ = 0;
     std::uint64_t dispatched_ = 0;
+    sim::EventPool<DeliveryEvent> deliveryPool_;
 };
 
 } // namespace rpcvalet::ni

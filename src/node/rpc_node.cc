@@ -61,9 +61,8 @@ RpcNode::RpcNode(sim::Simulator &sim, const SystemParams &params,
             const sim::Tick delay =
                 mesh_.backendToCore(backend_id, core, cqeBytes) +
                 params_.memory.qpTransferLatency();
-            sim_.schedule(delay, [this, core, cqe = std::move(cqe)] {
-                deliverCqeToCore(core, cqe);
-            });
+            scheduleCqeHop(CqeEvent::Kind::Deliver, core, std::move(cqe),
+                           delay);
         };
     };
 
@@ -191,9 +190,8 @@ RpcNode::onMessageComplete(std::uint32_t backend_id,
         // and forwards it to the NI dispatcher over the mesh.
         const sim::Tick delay = mesh_.backendToBackend(
             backend_id, params_.dispatcherBackend, completionPacketBytes);
-        sim_.schedule(delay, [this, cqe = std::move(cqe)] {
-            dispatchers_[0]->enqueue(cqe);
-        });
+        scheduleCqeHop(CqeEvent::Kind::DispatchEnqueue, 0, std::move(cqe),
+                       delay);
         break;
       }
       case ni::DispatchMode::PerBackendGroup:
@@ -207,19 +205,50 @@ RpcNode::onMessageComplete(std::uint32_t backend_id,
         const sim::Tick delay =
             mesh_.backendToCore(backend_id, core, cqeBytes) +
             params_.memory.qpTransferLatency();
-        sim_.schedule(delay, [this, core, cqe = std::move(cqe)] {
-            deliverCqeToCore(core, cqe);
-        });
+        scheduleCqeHop(CqeEvent::Kind::Deliver, core, std::move(cqe),
+                       delay);
         break;
       }
       case ni::DispatchMode::SoftwarePull: {
         // NIs append to the software queue in shared memory (§6.2).
-        const sim::Tick delay = params_.memory.llcLatency;
-        sim_.schedule(delay, [this, cqe = std::move(cqe)] {
-            swQueue_->push(cqe);
-        });
+        scheduleCqeHop(CqeEvent::Kind::SwPush, 0, std::move(cqe),
+                       params_.memory.llcLatency);
         break;
       }
+    }
+}
+
+void
+RpcNode::scheduleCqeHop(CqeEvent::Kind kind, proto::CoreId core,
+                        proto::CompletionQueueEntry cqe, sim::Tick delay)
+{
+    CqeEvent *ev = cqePool_.acquire();
+    ev->node = this;
+    ev->kind = kind;
+    ev->core = core;
+    ev->cqe = std::move(cqe);
+    sim_.schedule(*ev, delay);
+}
+
+void
+RpcNode::CqeEvent::process()
+{
+    RpcNode *n = node;
+    const Kind k = kind;
+    const proto::CoreId c = core;
+    proto::CompletionQueueEntry e = std::move(cqe);
+    // Recycle first: the hop's handler can schedule further hops.
+    n->cqePool_.release(this);
+    switch (k) {
+      case Kind::DispatchEnqueue:
+        n->dispatchers_[0]->enqueue(std::move(e));
+        break;
+      case Kind::Deliver:
+        n->deliverCqeToCore(c, std::move(e));
+        break;
+      case Kind::SwPush:
+        n->swQueue_->push(std::move(e));
+        break;
     }
 }
 
@@ -292,18 +321,67 @@ RpcNode::runRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
             processing - params_.preemptionQuantum, std::move(result)};
         const sim::Tick pre = base_pre + params_.preemptionQuantum +
                               params_.preemptionOverhead;
-        sim_.schedule(pre, [this, core, cqe = std::move(cqe),
-                            busy_start]() mutable {
-            yieldRpc(core, std::move(cqe), busy_start);
-        });
+        ServiceEvent *ev = servicePool_.acquire();
+        ev->node = this;
+        ev->stage = ServiceEvent::Stage::Yield;
+        ev->core = core;
+        ev->cqe = std::move(cqe);
+        ev->busyStart = busy_start;
+        sim_.schedule(*ev, pre);
         return;
     }
 
     const sim::Tick pre = base_pre + processing + cc.replyBuild;
-    sim_.schedule(pre, [this, core, cqe = std::move(cqe),
-                        result = std::move(result), busy_start]() mutable {
-        attemptReply(core, std::move(cqe), std::move(result), busy_start);
-    });
+    ServiceEvent *ev = servicePool_.acquire();
+    ev->node = this;
+    ev->stage = ServiceEvent::Stage::Reply;
+    ev->core = core;
+    ev->cqe = std::move(cqe);
+    ev->result = std::move(result);
+    ev->busyStart = busy_start;
+    sim_.schedule(*ev, pre);
+}
+
+void
+RpcNode::ServiceEvent::process()
+{
+    node->serviceStage(*this);
+}
+
+void
+RpcNode::serviceStage(ServiceEvent &ev)
+{
+    switch (ev.stage) {
+      case ServiceEvent::Stage::Yield:
+        yieldRpc(ev);
+        break;
+      case ServiceEvent::Stage::YieldNotify: {
+        // §4.3: the continuation re-enters the shared CQ (FIFO tail)
+        // and the core's credit returns, in that order.
+        const std::uint32_t d = ev.dispatcher;
+        const proto::CoreId core = ev.core;
+        proto::CompletionQueueEntry cqe = std::move(ev.cqe);
+        servicePool_.release(&ev);
+        dispatchers_[d]->enqueue(std::move(cqe));
+        dispatchers_[d]->onReplenish(core);
+        break;
+      }
+      case ServiceEvent::Stage::Reply:
+        attemptReply(ev);
+        break;
+      case ServiceEvent::Stage::Finish:
+        finishRpc(ev);
+        break;
+      case ServiceEvent::Stage::Loop: {
+        // §5 loop bookkeeping, then look for the next request.
+        const proto::CoreId core = ev.core;
+        const sim::Tick busy_start = ev.busyStart;
+        servicePool_.release(&ev);
+        busyAccum_ += sim_.now() - busy_start;
+        corePullNext(core);
+        break;
+      }
+    }
 }
 
 void
@@ -314,38 +392,42 @@ RpcNode::runSlice(proto::CoreId core, proto::CompletionQueueEntry cqe,
     RV_ASSERT(it != continuations_.end(), "missing continuation");
     Continuation &cont = it->second;
 
+    ServiceEvent *ev = servicePool_.acquire();
+    ev->node = this;
+    ev->core = core;
+    ev->busyStart = busy_start;
+
     if (cont.remaining > params_.preemptionQuantum) {
         cont.remaining -= params_.preemptionQuantum;
         const sim::Tick pre = pre_cost + params_.preemptionQuantum +
                               params_.preemptionOverhead;
-        sim_.schedule(pre, [this, core, cqe = std::move(cqe),
-                            busy_start]() mutable {
-            yieldRpc(core, std::move(cqe), busy_start);
-        });
+        ev->stage = ServiceEvent::Stage::Yield;
+        ev->cqe = std::move(cqe);
+        sim_.schedule(*ev, pre);
         return;
     }
 
     // Final slice: finish the remaining work and take the normal
     // reply + replenish exit path.
-    app::HandleResult result = std::move(cont.result);
     const sim::Tick remaining = cont.remaining;
+    ev->stage = ServiceEvent::Stage::Reply;
+    ev->cqe = std::move(cqe);
+    ev->result = std::move(cont.result);
     continuations_.erase(it);
     const sim::Tick pre =
         pre_cost + remaining + params_.coreCosts.replyBuild;
-    sim_.schedule(pre, [this, core, cqe = std::move(cqe),
-                        result = std::move(result), busy_start]() mutable {
-        attemptReply(core, std::move(cqe), std::move(result), busy_start);
-    });
+    sim_.schedule(*ev, pre);
 }
 
 void
-RpcNode::yieldRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
-                  sim::Tick busy_start)
+RpcNode::yieldRpc(ServiceEvent &ev)
 {
     ++preemptionYields_;
     // The continuation re-enters the dispatcher's shared CQ (FIFO
     // tail) and the core's credit returns; both notifications travel
-    // the same core-to-dispatcher path as a replenish (§4.3).
+    // the same core-to-dispatcher path as a replenish (§4.3). The
+    // event itself becomes the notify carrier.
+    const proto::CoreId core = ev.core;
     const std::uint32_t d = dispatcherIndexForCore(core);
     const std::uint32_t db =
         params_.mode == ni::DispatchMode::SingleQueue
@@ -354,24 +436,23 @@ RpcNode::yieldRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
     const sim::Tick notify_delay =
         params_.memory.qpTransferLatency() +
         mesh_.coreToBackend(core, db, wqeBytes);
-    sim_.schedule(notify_delay, [this, d, core, cqe = std::move(cqe)] {
-        dispatchers_[d]->enqueue(cqe);
-        dispatchers_[d]->onReplenish(core);
-    });
+    ev.stage = ServiceEvent::Stage::YieldNotify;
+    ev.dispatcher = d;
+    sim_.schedule(ev, notify_delay);
 
     // Slice occupancy counts toward S-bar; the RPC itself completes
     // later, so servedTotal does not move here.
-    busyAccum_ += sim_.now() - busy_start;
+    busyAccum_ += sim_.now() - ev.busyStart;
     corePullNext(core);
 }
 
 void
-RpcNode::attemptReply(proto::CoreId core, proto::CompletionQueueEntry cqe,
-                      app::HandleResult result, sim::Tick busy_start)
+RpcNode::attemptReply(ServiceEvent &ev)
 {
-    const proto::NodeId requester = cqe.srcNode;
+    const proto::CoreId core = ev.core;
+    const proto::NodeId requester = ev.cqe.srcNode;
     const std::uint32_t slot_off =
-        params_.domain.slotOffset(cqe.slotIndex);
+        params_.domain.slotOffset(ev.cqe.slotIndex);
 
     // Slot-mirrored reply: response to request slot s departs on send
     // slot s toward the requester.
@@ -379,16 +460,11 @@ RpcNode::attemptReply(proto::CoreId core, proto::CompletionQueueEntry cqe,
         // Mirrored slot still awaiting its replenish: spin and retry
         // (the core stays busy, §4.2 flow control).
         ++replySlotStalls_;
-        sim_.schedule(params_.sendSlotRetry,
-                      [this, core, cqe = std::move(cqe),
-                       result = std::move(result), busy_start]() mutable {
-                          attemptReply(core, std::move(cqe),
-                                       std::move(result), busy_start);
-                      });
+        sim_.schedule(ev, params_.sendSlotRetry);
         return;
     }
     const bool acquired = send_.acquireSpecific(
-        requester, slot_off, std::move(result.reply));
+        requester, slot_off, std::move(ev.result.reply));
     RV_ASSERT(acquired, "mirrored slot raced despite busy probe");
 
     const CoreCosts &cc = params_.coreCosts;
@@ -408,19 +484,19 @@ RpcNode::attemptReply(proto::CoreId core, proto::CompletionQueueEntry cqe,
 
     // §5 step iv: replenish is posted right after the send; latency
     // measurement ends there.
-    const bool critical = result.latencyCritical;
-    sim_.schedule(cc.sendPost + cc.replenishPost,
-                  [this, core, cqe = std::move(cqe), critical,
-                   busy_start] {
-                      finishRpc(core, cqe, critical, busy_start);
-                  });
+    ev.critical = ev.result.latencyCritical;
+    ev.stage = ServiceEvent::Stage::Finish;
+    sim_.schedule(ev, cc.sendPost + cc.replenishPost);
 }
 
 void
-RpcNode::finishRpc(proto::CoreId core,
-                   const proto::CompletionQueueEntry &cqe, bool critical,
-                   sim::Tick busy_start)
+RpcNode::finishRpc(ServiceEvent &ev)
 {
+    const proto::CoreId core = ev.core;
+    const proto::CompletionQueueEntry &cqe = ev.cqe;
+    const bool critical = ev.critical;
+    const sim::Tick busy_start = ev.busyStart;
+
     const sim::Tick latency = sim_.now() - cqe.firstPacketTick;
     allLatency_.record(latency);
     ++servedTotal_;
@@ -474,12 +550,10 @@ RpcNode::finishRpc(proto::CoreId core,
     if (completionHook_)
         completionHook_(critical, latency);
 
-    // §5 loop bookkeeping, then look for the next request.
-    sim_.schedule(params_.coreCosts.loopOverhead,
-                  [this, core, busy_start] {
-                      busyAccum_ += sim_.now() - busy_start;
-                      corePullNext(core);
-                  });
+    // §5 loop bookkeeping, then look for the next request (the event
+    // carries itself into the Loop epilogue).
+    ev.stage = ServiceEvent::Stage::Loop;
+    sim_.schedule(ev, params_.coreCosts.loopOverhead);
 }
 
 void

@@ -129,6 +129,64 @@ class RpcNode
         std::uint64_t served = 0;
     };
 
+    /**
+     * Pooled CQE carrier for the dispatch-plumbing hops that ride a
+     * modeled latency: backend → dispatcher forwarding, CQE delivery
+     * into a core's private CQ, and software-queue pushes. Reused
+     * across hops, so the per-RPC steady state never allocates.
+     */
+    struct CqeEvent : sim::Event
+    {
+        enum class Kind : std::uint8_t
+        {
+            DispatchEnqueue, ///< dispatchers_[0]->enqueue (§4.3 fwd)
+            Deliver,         ///< deliverCqeToCore
+            SwPush,          ///< swQueue_->push (§6.2)
+        };
+
+        RpcNode *node = nullptr;
+        Kind kind = Kind::Deliver;
+        proto::CoreId core = 0;
+        proto::CompletionQueueEntry cqe;
+
+        void process() override;
+        const char *description() const override { return "cqe-hop"; }
+    };
+
+    /**
+     * Pooled per-RPC service event: one object walks an RPC through
+     * its core-side stages — preemption yield (+ the dispatcher
+     * notify it sends), reply posting (with slot-stall retries),
+     * replenish/finish, and the loop-overhead epilogue. Replaces the
+     * per-stage allocating closures of the §5 service loop.
+     */
+    struct ServiceEvent : sim::Event
+    {
+        enum class Stage : std::uint8_t
+        {
+            Yield,       ///< quantum expired: bank continuation
+            YieldNotify, ///< re-enqueue + credit return at dispatcher
+            Reply,       ///< attempt the slot-mirrored reply
+            Finish,      ///< replenish posted; record + clean up
+            Loop,        ///< §5 loop bookkeeping, then pull next
+        };
+
+        RpcNode *node = nullptr;
+        Stage stage = Stage::Reply;
+        proto::CoreId core = 0;
+        std::uint32_t dispatcher = 0; ///< YieldNotify target
+        bool critical = false;
+        proto::CompletionQueueEntry cqe;
+        app::HandleResult result;
+        sim::Tick busyStart = 0;
+
+        void process() override;
+        const char *description() const override
+        {
+            return "rpc-service";
+        }
+    };
+
     // --- wiring helpers ---
     std::uint32_t ingressBackendFor(proto::NodeId src,
                                     std::uint32_t slot) const;
@@ -140,6 +198,8 @@ class RpcNode
     // --- event flow ---
     void onMessageComplete(std::uint32_t backend_id,
                            proto::CompletionQueueEntry cqe);
+    void scheduleCqeHop(CqeEvent::Kind kind, proto::CoreId core,
+                        proto::CompletionQueueEntry cqe, sim::Tick delay);
     void deliverCqeToCore(proto::CoreId core,
                           proto::CompletionQueueEntry cqe);
     void coreMaybeStart(proto::CoreId core, bool was_idle);
@@ -148,14 +208,10 @@ class RpcNode
     bool hasDispatcher() const;
     void runSlice(proto::CoreId core, proto::CompletionQueueEntry cqe,
                   sim::Tick pre_cost, sim::Tick busy_start);
-    void yieldRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
-                  sim::Tick busy_start);
-    void attemptReply(proto::CoreId core,
-                      proto::CompletionQueueEntry cqe,
-                      app::HandleResult result, sim::Tick busy_start);
-    void finishRpc(proto::CoreId core,
-                   const proto::CompletionQueueEntry &cqe, bool critical,
-                   sim::Tick busy_start);
+    void serviceStage(ServiceEvent &ev);
+    void yieldRpc(ServiceEvent &ev);
+    void attemptReply(ServiceEvent &ev);
+    void finishRpc(ServiceEvent &ev);
     void corePullNext(proto::CoreId core);
 
     sim::Simulator &sim_;
@@ -190,6 +246,8 @@ class RpcNode
     std::uint64_t servedCritical_ = 0;
     std::uint64_t replySlotStalls_ = 0;
     sim::Tick busyAccum_ = 0;
+    sim::EventPool<CqeEvent> cqePool_;
+    sim::EventPool<ServiceEvent> servicePool_;
 };
 
 } // namespace rpcvalet::node

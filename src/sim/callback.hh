@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Small-buffer-optimized one-shot callback.
+ *
+ * The DES hot path schedules millions of short-lived closures; holding
+ * them as std::function means one heap allocation per event. An
+ * InplaceCallback stores any callable whose captures fit in three
+ * pointers (24 bytes) directly inside the object — no allocation —
+ * and falls back to the heap only for oversized captures. Hot-loop
+ * components that would exceed the inline budget (e.g. closures
+ * carrying a CompletionQueueEntry or a Packet) should use reusable
+ * pooled sim::Event subclasses instead (see sim/event.hh).
+ *
+ * All operations route through one per-type handler function (invoke,
+ * invoke-then-destroy, destroy, move): a single indirect call per
+ * event firing, which matters at tens of millions of events/sec.
+ */
+
+#ifndef RPCVALET_SIM_CALLBACK_HH
+#define RPCVALET_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::sim {
+
+/** Move-only void() callable with inline storage for small captures. */
+class InplaceCallback
+{
+  public:
+    /** Inline capture budget: closures up to 3 pointers stay in. */
+    static constexpr std::size_t kInlineBytes = 3 * sizeof(void *);
+
+    InplaceCallback() noexcept = default;
+    InplaceCallback(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InplaceCallback(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            handler_ = reinterpret_cast<std::uintptr_t>(
+                &inlineHandler<Fn>);
+            // The tag borrows bit 0 of the handler address, which
+            // aligned(2) on the handlers guarantees is clear; checked
+            // NDEBUG-independently because a violation means jumping
+            // to handler-1 with no diagnostic.
+            RV_ASSERT((handler_ & kTrivialTag) == 0,
+                      "handler function address has bit 0 set");
+            // Closures over references/pointers — the common case —
+            // move by memcpy and destroy as a no-op; tag them so
+            // reset() and moves skip the indirect call entirely.
+            if constexpr (std::is_trivially_copyable_v<Fn> &&
+                          std::is_trivially_destructible_v<Fn>)
+                handler_ |= kTrivialTag;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                (Fn *)(new Fn(std::forward<F>(f)));
+            handler_ = reinterpret_cast<std::uintptr_t>(
+                &heapHandler<Fn>);
+        }
+    }
+
+    /**
+     * Destroy the current target (if any) and construct @p f in
+     * place — the zero-move path used by the scheduler shim.
+     */
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        reset();
+        ::new (static_cast<void *>(this))
+            InplaceCallback(std::forward<F>(f));
+    }
+
+    InplaceCallback(InplaceCallback &&other) noexcept { moveFrom(other); }
+
+    InplaceCallback &
+    operator=(InplaceCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InplaceCallback(const InplaceCallback &) = delete;
+    InplaceCallback &operator=(const InplaceCallback &) = delete;
+
+    ~InplaceCallback() { reset(); }
+
+    /** Invoke the stored callable (must be non-empty). */
+    void operator()() { fn()(buf_, nullptr, Op::Invoke); }
+
+    /**
+     * Invoke, then destroy the callable, leaving this empty — the
+     * one-shot firing path, one indirect call total.
+     */
+    void
+    invokeOnce()
+    {
+        const std::uintptr_t h = handler_;
+        handler_ = 0;
+        toFn(h)(buf_, nullptr,
+                (h & kTrivialTag) ? Op::Invoke : Op::InvokeDestroy);
+    }
+
+    explicit operator bool() const noexcept { return handler_ != 0; }
+
+    /** Destroy the stored callable (and its captures), if any. */
+    void
+    reset() noexcept
+    {
+        if (handler_ != 0 && (handler_ & kTrivialTag) == 0)
+            fn()(buf_, nullptr, Op::Destroy);
+        handler_ = 0;
+    }
+
+    friend bool
+    operator==(const InplaceCallback &c, std::nullptr_t) noexcept
+    {
+        return !c;
+    }
+    friend bool
+    operator==(std::nullptr_t, const InplaceCallback &c) noexcept
+    {
+        return !c;
+    }
+    friend bool
+    operator!=(const InplaceCallback &c, std::nullptr_t) noexcept
+    {
+        return static_cast<bool>(c);
+    }
+    friend bool
+    operator!=(std::nullptr_t, const InplaceCallback &c) noexcept
+    {
+        return static_cast<bool>(c);
+    }
+
+  private:
+    enum class Op : unsigned char
+    {
+        Invoke,        ///< call the target
+        InvokeDestroy, ///< call, then destroy (one-shot firing)
+        Destroy,       ///< destroy the target
+        Move,          ///< move-construct into dst, destroy src
+    };
+
+    using Handler = void (*)(void *src, void *dst, Op op);
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+               alignof(Fn) <= alignof(void *) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    // aligned(2): the kTrivialTag scheme borrows bit 0 of these
+    // functions' addresses, and unoptimized template instantiations
+    // are not otherwise guaranteed even 2-byte alignment.
+    template <typename Fn>
+    __attribute__((aligned(2))) static void
+    inlineHandler(void *src, void *dst, Op op)
+    {
+        Fn *f = std::launder(reinterpret_cast<Fn *>(src));
+        switch (op) {
+          case Op::Invoke:
+            (*f)();
+            return;
+          case Op::InvokeDestroy:
+            (*f)();
+            f->~Fn();
+            return;
+          case Op::Destroy:
+            f->~Fn();
+            return;
+          case Op::Move:
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+            return;
+        }
+    }
+
+    template <typename Fn>
+    __attribute__((aligned(2))) static void
+    heapHandler(void *src, void *dst, Op op)
+    {
+        Fn **pp = std::launder(reinterpret_cast<Fn **>(src));
+        switch (op) {
+          case Op::Invoke:
+            (**pp)();
+            return;
+          case Op::InvokeDestroy:
+            (**pp)();
+            delete *pp;
+            return;
+          case Op::Destroy:
+            delete *pp;
+            return;
+          case Op::Move:
+            // Steal the heap pointer; the source slot no longer owns
+            // the callable.
+            ::new (dst) (Fn *)(*pp);
+            return;
+        }
+    }
+
+    Handler fn() const { return toFn(handler_); }
+
+    static Handler
+    toFn(std::uintptr_t h)
+    {
+        return reinterpret_cast<Handler>(h & ~kTrivialTag);
+    }
+
+    void
+    moveFrom(InplaceCallback &other) noexcept
+    {
+        handler_ = other.handler_;
+        if (handler_ & kTrivialTag) {
+            for (std::size_t i = 0; i < kInlineBytes; ++i)
+                buf_[i] = other.buf_[i];
+        } else if (handler_ != 0) {
+            fn()(other.buf_, buf_, Op::Move);
+        }
+        other.handler_ = 0;
+    }
+
+    /** Bit 0 of handler_: trivially movable and destructible inline. */
+    static constexpr std::uintptr_t kTrivialTag = 1;
+
+    // handler_ precedes the capture buffer so the firing path's
+    // loads cluster at the front of the enclosing event object.
+    std::uintptr_t handler_ = 0;
+    alignas(void *) unsigned char buf_[kInlineBytes];
+};
+
+} // namespace rpcvalet::sim
+
+#endif // RPCVALET_SIM_CALLBACK_HH

@@ -1,0 +1,18 @@
+#include "sim/event.hh"
+
+#include "sim/simulator.hh"
+
+namespace rpcvalet::sim {
+
+Event::~Event()
+{
+    // Auto-deschedule so a component destroyed before its simulator
+    // (the normal stack order) never leaves a dangling queue entry.
+    if (scheduled()) {
+        Simulator *sim = owningSim();
+        sim->removeFromQueue(*this);
+        --sim->pending_;
+    }
+}
+
+} // namespace rpcvalet::sim

@@ -5,37 +5,112 @@
  * Events are (time, sequence) ordered: two events scheduled for the
  * same tick fire in scheduling order, which makes entire simulations
  * bit-reproducible for a given seed.
+ *
+ * The kernel is allocation-free on the schedule/fire hot path:
+ *
+ *  - Intrusive events (sim/event.hh): components embed sim::Event
+ *    subclasses and schedule them directly — no allocation ever.
+ *  - One-shot callbacks: schedule(Tick, Callback) wraps the callable
+ *    in a pooled internal event; captures up to 3 pointers are stored
+ *    inline (sim/callback.hh), larger ones fall back to the heap.
+ *    Prefer a reusable Event for anything carrying bulky payloads
+ *    (packets, CQEs) or firing once per RPC.
+ *
+ * Pending events live in a two-level bucketed timer wheel instead of a
+ * binary heap:
+ *
+ *  - Near future: kNumBuckets buckets of kBucketTicks each (a rotating
+ *    ~2 µs horizon at 1 ns granularity). schedule() appends to the
+ *    destination bucket in O(1), unsorted. When the wheel reaches a
+ *    bucket it is "opened": its events are stably sorted by time once
+ *    (append order breaks ties, preserving the (time, seq) FIFO
+ *    contract) and then popped from the head in O(1).
+ *  - Far future: events beyond the horizon wait in a sorted overflow
+ *    list and migrate into buckets as the horizon advances past them.
+ *
+ * A bitmap over buckets makes skipping empty time O(buckets/64) words,
+ * and descheduling is O(1) thanks to the intrusive doubly-linked
+ * hooks. Determinism is unchanged from the heap kernel and is locked
+ * by tests/core/kernel_identity_test.cc.
  */
 
 #ifndef RPCVALET_SIM_SIMULATOR_HH
 #define RPCVALET_SIM_SIMULATOR_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
+#include "sim/callback.hh"
+#include "sim/event.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
 namespace rpcvalet::sim {
 
-/** Event payload: an arbitrary callable. */
-using Callback = std::function<void()>;
+/** One-shot event payload: any callable (small captures stay inline). */
+using Callback = InplaceCallback;
 
 /** Discrete-event simulator with a monotonically advancing clock. */
 class Simulator
 {
-  public:
-    Simulator() = default;
+    /** Raw callables (not Events, not Callbacks) take the template
+     *  overloads; everything else keeps the exact-match overloads. */
+    template <typename F>
+    using EnableIfCallable = std::enable_if_t<
+        std::is_invocable_r_v<void, std::decay_t<F> &> &&
+        !std::is_same_v<std::decay_t<F>, InplaceCallback> &&
+        !std::is_base_of_v<Event, std::decay_t<F>>>;
 
-    // The event heap holds callbacks that may capture `this`-adjacent
-    // state; the simulator identity must be stable.
+  public:
+    Simulator();
+    ~Simulator();
+
+    // Queued events hold pointers into this object; the simulator
+    // identity must be stable.
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
+
+    // ----- intrusive event API (allocation-free) -----
+
+    /** Schedule @p ev to fire @p delay ticks from now. */
+    void schedule(Event &ev, Tick delay) { scheduleAt(ev, now_ + delay); }
+
+    /**
+     * Schedule @p ev at absolute time @p when. Scheduling in the past
+     * or scheduling an already-scheduled event is a simulator bug and
+     * panics (use reschedule() to move a pending event). Inline: this
+     * is the innermost step of every schedule call.
+     */
+    void
+    scheduleAt(Event &ev, Tick when)
+    {
+        RV_ASSERT(!ev.scheduled(), "event is already scheduled");
+        RV_ASSERT(when >= now_, "event scheduled in the past");
+        ev.when_ = when;
+        place(ev);
+        ++pending_;
+    }
+
+    /** Remove a pending event (panics if @p ev is not scheduled). */
+    void deschedule(Event &ev);
+
+    /** Move @p ev (scheduled or not) to fire @p delay from now. */
+    void reschedule(Event &ev, Tick delay)
+    {
+        rescheduleAt(ev, now_ + delay);
+    }
+
+    /** Move @p ev (scheduled or not) to absolute time @p when. */
+    void rescheduleAt(Event &ev, Tick when);
+
+    // ----- one-shot callback shim -----
 
     /** Schedule @p cb to run @p delay ticks from now. */
     void schedule(Tick delay, Callback cb);
@@ -45,6 +120,30 @@ class Simulator
      * is a simulator bug and panics.
      */
     void scheduleAt(Tick when, Callback cb);
+
+    /**
+     * Hot-path overloads for raw callables: the closure is built
+     * directly inside the pooled event, no intermediate Callback.
+     */
+    template <typename F, typename = EnableIfCallable<F>>
+    void
+    schedule(Tick delay, F &&f)
+    {
+        OneShot *ev = oneShots_.acquire();
+        ev->cb.emplace(std::forward<F>(f));
+        scheduleAt(*ev, now_ + delay);
+    }
+
+    template <typename F, typename = EnableIfCallable<F>>
+    void
+    scheduleAt(Tick when, F &&f)
+    {
+        OneShot *ev = oneShots_.acquire();
+        ev->cb.emplace(std::forward<F>(f));
+        scheduleAt(*ev, when);
+    }
+
+    // ----- running -----
 
     /**
      * Run until the event queue drains or stop() is called. Returns the
@@ -65,44 +164,163 @@ class Simulator
     bool stopRequested() const { return stopRequested_; }
 
     /** Number of events waiting in the queue. */
-    std::size_t pendingEvents() const { return queue_.size(); }
+    std::size_t pendingEvents() const { return pending_; }
 
     /** Total number of events executed so far. */
     std::uint64_t executedEvents() const { return executed_; }
 
   private:
-    struct Item
+    friend class Event;
+
+    // Wheel geometry: 1024-tick (~1 ns) buckets, 2048 of them — a
+    // rotating ~2 µs horizon that covers the common pipeline, mesh and
+    // interarrival delays of this model. Both are powers of two so the
+    // bucket of a tick is two shifts away.
+    static constexpr unsigned kBucketBits = 10;
+    static constexpr Tick kBucketTicks = Tick(1) << kBucketBits;
+    static constexpr std::size_t kNumBuckets = 2048;
+    static constexpr std::uint64_t kBucketMask = kNumBuckets - 1;
+    static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
+
+    /** Internal pooled event backing the one-shot callback shim. */
+    struct OneShot : Event
     {
-        Tick when;
-        std::uint64_t seq;
-        Callback cb;
+        InplaceCallback cb;
+
+        void process() override;
+        const char *description() const override { return "one-shot"; }
     };
 
-    struct Later
+    static std::uint64_t bucketOf(Tick when)
     {
-        bool
-        operator()(const Item &a, const Item &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+        return when >> kBucketBits;
+    }
+
+    static bool listEmpty(const EventLink &head)
+    {
+        return head.next == &head;
+    }
+
+    static void initList(EventLink &head)
+    {
+        head.next = &head;
+        head.prev = &head;
+    }
+
+    /** Append @p ev at the tail of @p head (FIFO order). */
+    static void appendTo(EventLink &head, Event &ev);
+
+    /**
+     * Insert @p ev keeping @p head sorted by (when, insertion order).
+     * Scans from the tail: the common pattern (later schedules, later
+     * times) makes this O(1) amortized.
+     */
+    static void
+    insertSorted(EventLink &head, Event &ev)
+    {
+        EventLink *pos = head.prev;
+        while (pos != &head &&
+               static_cast<Event *>(pos)->when_ > ev.when_)
+            pos = pos->prev;
+        ev.next = pos->next;
+        ev.prev = pos;
+        pos->next->prev = &ev;
+        pos->next = &ev;
+    }
+
+    /** Route a (when-stamped) event into open/bucket/overflow. */
+    void
+    place(Event &ev)
+    {
+        const std::uint64_t bucket = bucketOf(ev.when_);
+        if (bucket >= cursor_ + kNumBuckets) {
+            insertSorted(overflow_, ev);
+            ev.setState(this, Event::Where::Overflow);
+        } else if (bucket == cursor_) {
+            insertSorted(open_, ev);
+            ev.setState(this, Event::Where::Open);
+        } else {
+            // when >= now() >= cursor window start, so in-horizon
+            // events are never behind the cursor. Push-front:
+            // openBucket restores insertion order before anything
+            // fires.
+            const std::size_t slot =
+                static_cast<std::size_t>(bucket & kBucketMask);
+            ev.next = buckets_[slot];
+            buckets_[slot] = &ev;
+            occupied_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+            ev.setState(this, Event::Where::Bucket);
         }
-    };
+    }
 
+    /** Shared one-shot path: pool an event around @p cb. */
+    void scheduleOneShot(Tick when, Callback &&cb);
+
+    /** Unlink from whichever region holds the event. */
+    void removeFromQueue(Event &ev);
+
+    /**
+     * Earliest pending event without mutating wheel state (runUntil
+     * must not advance the cursor for events it will not execute —
+     * later schedules may still target the skipped time range).
+     */
+    Event *peekEarliest();
+
+    /** Pop the earliest pending event (advances the wheel). */
+    Event *popEarliest();
+
+    /**
+     * Advance the cursor to the next bucket holding work, migrating
+     * newly in-horizon overflow events. Returns the target bucket.
+     */
+    std::uint64_t advanceCursor();
+
+    /** Sort bucket @p target's events into the open list. */
+    void openBucket(std::uint64_t target);
+
+    /** Absolute bucket numbers of candidate work, or ~0 if none. */
+    std::uint64_t nextOccupiedBucket() const;
+
+    /** Execute the earliest event; false when the queue is empty. */
     bool executeNext();
 
+    void releaseOneShot(OneShot *ev);
+
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    std::size_t pending_ = 0;
     std::uint64_t executed_ = 0;
     bool stopRequested_ = false;
-    std::priority_queue<Item, std::vector<Item>, Later> queue_;
+
+    /** Absolute bucket number of the open (currently served) window. */
+    std::uint64_t cursor_ = 0;
+    /** The open bucket, sorted by (when, insertion). */
+    EventLink open_;
+    /** Beyond-horizon events, sorted by (when, insertion). */
+    EventLink overflow_;
+    /**
+     * In-horizon buckets: singly-linked stacks, newest first (one
+     * head pointer each, so a fresh wheel is a small memset and an
+     * append is two stores). A bucket is put into (time, seq) order
+     * only when opened; descheduling from an unopened bucket walks
+     * the few events it holds.
+     */
+    std::vector<Event *> buckets_;
+    /** One bit per bucket: does it hold any events? */
+    std::array<std::uint64_t, kBitmapWords> occupied_{};
+    /** Scratch for sorting a bucket as it opens (reused, no alloc). */
+    std::vector<Event *> sortScratch_;
+
+    // Declared last: destroyed first, after ~Simulator's body has
+    // detached any still-pending events, so ~Event sees them idle.
+    EventPool<OneShot> oneShots_;
 };
 
 /**
  * Open-loop Poisson arrival process: calls a handler for every arrival
  * at a given average rate until stopped. Inter-arrival times are
  * exponential, sampled from a dedicated Rng so arrival sequences do not
- * perturb other components' randomness.
+ * perturb other components' randomness. The single arrival event is a
+ * reusable member event — steady-state generation never allocates.
  */
 class PoissonProcess
 {
@@ -131,6 +349,7 @@ class PoissonProcess
     double ratePerSec() const { return ratePerSec_; }
 
   private:
+    void fire();
     void scheduleNext();
 
     Simulator &sim_;
@@ -140,6 +359,7 @@ class PoissonProcess
     Handler handler_;
     bool halted_ = false;
     std::uint64_t arrivals_ = 0;
+    MemberEvent<PoissonProcess, &PoissonProcess::fire> event_;
 };
 
 } // namespace rpcvalet::sim
