@@ -13,11 +13,10 @@
  */
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "app/synthetic_app.hh"
+#include "app/workload.hh"
 #include "common.hh"
 
 int
@@ -29,15 +28,15 @@ main(int argc, char **argv)
                        "GEV service; tail-vs-load per (policy, arrival) "
                        "pair; SLO = 10x S-bar");
 
-    auto factory = [] {
-        return std::make_unique<app::SyntheticApp>(
-            sim::SyntheticKind::Gev);
-    };
-    app::SyntheticApp probe(sim::SyntheticKind::Gev);
+    const app::WorkloadSpec workload =
+        args.workload.empty() ? app::WorkloadSpec("synthetic:dist=gev")
+                              : app::WorkloadSpec(args.workload);
+    const app::RpcApplicationPtr probe =
+        app::WorkloadRegistry::instance().make(workload);
     node::SystemParams sys;
-    const double capacity = core::estimateCapacityRps(sys, probe);
+    const double capacity = core::estimateCapacityRps(sys, *probe);
     const double sbar =
-        probe.meanProcessingNs() +
+        probe->meanProcessingNs() +
         sim::toNs(sys.coreCosts.totalOverhead());
 
     // Burstiness axis, mildest first. --arrival narrows it to one
@@ -59,6 +58,7 @@ main(int argc, char **argv)
     bench::BenchArgs sweep_args = args;
     sweep_args.policy.clear();
     sweep_args.arrival.clear();
+    sweep_args.workload.clear();
 
     std::vector<stats::Series> all;
     for (const std::string &policy : policies) {
@@ -66,9 +66,10 @@ main(int argc, char **argv)
             core::ExperimentConfig base;
             base.system.policy = ni::PolicySpec::parse(policy);
             base.arrival = net::ArrivalSpec::parse(arrival);
+            base.workload = workload;
             const std::string label = policy + " | " + arrival;
-            auto sweep = bench::makeSweep(sweep_args, base, factory,
-                                          label, capacity, 0.3, 0.9);
+            auto sweep = bench::makeSweep(sweep_args, base, label,
+                                          capacity, 0.3, 0.9);
             const auto result = core::runSweep(sweep);
             bench::printNormalizedSeries(result.series, capacity, sbar);
             all.push_back(result.series);

@@ -14,11 +14,9 @@
  */
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "app/synthetic_app.hh"
 #include "common.hh"
 
 int
@@ -30,13 +28,11 @@ main(int argc, char **argv)
                        "GEV service; every registered policy; dispatcher "
                        "on backend 0..3");
 
-    auto factory = [] {
-        return std::make_unique<app::SyntheticApp>(
-            sim::SyntheticKind::Gev);
-    };
-    app::SyntheticApp probe(sim::SyntheticKind::Gev);
+    const app::WorkloadSpec workload =
+        args.workload.empty() ? app::WorkloadSpec("synthetic:dist=gev")
+                              : app::WorkloadSpec(args.workload);
     node::SystemParams sys;
-    const double capacity = core::estimateCapacityRps(sys, probe);
+    const double capacity = core::estimateCapacityRps(sys, workload);
 
     // --policy narrows the sweep to one spec; default sweeps the
     // whole registry by name (each at its default parameters).
@@ -58,19 +54,18 @@ main(int argc, char **argv)
         cfg.system.seed = args.seed;
         cfg.warmupRpcs = args.warmup;
         cfg.measuredRpcs = args.rpcs;
-        // Only the arrival override: --policy already narrowed the
-        // sweep, and applying it here would clobber the swept spec.
+        cfg.workload = workload;
+        // No applyPolicyOverride: --policy already narrowed the sweep,
+        // and applying it here would clobber the swept spec.
+        bench::applyModeOverride(args, cfg);
         bench::applyArrivalOverride(args, cfg);
 
         cfg.arrivalRps = 0.7 * capacity;
-        auto app = factory();
-        const auto mid = core::runExperiment(cfg, *app);
+        const auto mid = core::runExperiment(cfg);
         cfg.arrivalRps = 0.9 * capacity;
-        app = factory();
-        const auto high = core::runExperiment(cfg, *app);
+        const auto high = core::runExperiment(cfg);
         cfg.arrivalRps = 2.0 * capacity;
-        app = factory();
-        const auto overload = core::runExperiment(cfg, *app);
+        const auto overload = core::runExperiment(cfg);
 
         std::printf("%26s %14.2f %14.2f %16.2f\n",
                     ni::makePolicy(spec)->name().c_str(),
@@ -90,9 +85,9 @@ main(int argc, char **argv)
         cfg.warmupRpcs = args.warmup;
         cfg.measuredRpcs = args.rpcs;
         cfg.arrivalRps = 0.9 * capacity;
+        cfg.workload = workload;
         bench::applyOverrides(args, cfg);
-        auto app = factory();
-        const auto r = core::runExperiment(cfg, *app);
+        const auto r = core::runExperiment(cfg);
         std::printf("%12u %14.2f %14.2f\n", b, r.point.p99Ns / 1e3,
                     r.point.meanNs / 1e3);
         best = std::min(best, r.point.p99Ns);

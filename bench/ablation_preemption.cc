@@ -10,9 +10,7 @@
  */
 
 #include <cstdio>
-#include <memory>
 
-#include "app/masstree_app.hh"
 #include "common.hh"
 
 int
@@ -25,10 +23,11 @@ main(int argc, char **argv)
     bench::printHeader("Ablation: RPCValet + preemption (Shinjuku-style)",
                        "Masstree mix; SLO = 12.5 us on gets");
 
-    auto factory = [] { return std::make_unique<app::MasstreeApp>(); };
-    app::MasstreeApp probe;
+    const app::WorkloadSpec workload =
+        args.workload.empty() ? app::WorkloadSpec("masstree")
+                              : app::WorkloadSpec(args.workload);
     node::SystemParams sys;
-    const double capacity = core::estimateCapacityRps(sys, probe);
+    const double capacity = core::estimateCapacityRps(sys, workload);
 
     // Baseline (no preemption) last: the SLO table normalizes to the
     // final series.
@@ -37,12 +36,13 @@ main(int argc, char **argv)
         core::ExperimentConfig base;
         base.system.preemptionQuantum =
             quantum_us > 0.0 ? sim::microseconds(quantum_us) : 0;
+        base.workload = workload;
         const std::string label =
             quantum_us > 0.0
                 ? sim::strfmt("quantum-%.0fus", quantum_us)
                 : "no-preemption";
-        auto sweep = bench::makeSweep(args, base, factory, label,
-                                      capacity, 0.15, 1.0);
+        auto sweep = bench::makeSweep(args, base, label, capacity,
+                                      0.15, 1.0);
         const auto result = core::runSweep(sweep);
         all.push_back(result.series);
 

@@ -11,10 +11,7 @@
  */
 
 #include <cstdio>
-#include <memory>
 
-#include "app/herd_app.hh"
-#include "app/synthetic_app.hh"
 #include "common.hh"
 
 namespace {
@@ -23,7 +20,7 @@ using namespace rpcvalet;
 
 void
 runWorkload(const bench::BenchArgs &args, const std::string &name,
-            const core::AppFactory &factory, double capacity)
+            const app::WorkloadSpec &workload, double capacity)
 {
     std::printf("\n=== workload: %s ===\n", name.c_str());
     std::printf("%10s %16s %14s %14s\n", "threshold", "capacity(Mrps)",
@@ -36,20 +33,20 @@ runWorkload(const bench::BenchArgs &args, const std::string &name,
         cfg.system.seed = args.seed;
         cfg.warmupRpcs = args.warmup;
         cfg.measuredRpcs = args.rpcs;
-        bench::applyOverrides(args, cfg);
+        cfg.workload = workload;
+        bench::applyModeOverride(args, cfg);
+        bench::applyPolicyOverride(args, cfg);
+        bench::applyArrivalOverride(args, cfg);
 
         // Capacity probe: heavy overload.
         cfg.arrivalRps = 2.5 * capacity;
-        auto app = factory();
-        const auto overload = core::runExperiment(cfg, *app);
+        const auto overload = core::runExperiment(cfg);
 
         cfg.arrivalRps = 0.7 * capacity;
-        app = factory();
-        const auto mid = core::runExperiment(cfg, *app);
+        const auto mid = core::runExperiment(cfg);
 
         cfg.arrivalRps = 0.9 * capacity;
-        app = factory();
-        const auto high = core::runExperiment(cfg, *app);
+        const auto high = core::runExperiment(cfg);
 
         std::printf("%10u %16.2f %14.2f %14.2f\n", threshold,
                     overload.point.achievedRps / 1e6,
@@ -70,24 +67,24 @@ runWorkload(const bench::BenchArgs &args, const std::string &name,
 int
 main(int argc, char **argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
+    auto args = bench::parseArgs(argc, argv);
+    // The workload pair below is this bench's fixed axis unless
+    // --workload narrows it to a single spec.
     bench::printHeader("Ablation: outstanding-per-core threshold",
                        "threshold 1 leaves a dispatch bubble; 2 hides "
                        "it; larger values re-introduce multi-queue "
                        "imbalance");
 
     node::SystemParams sys;
-    app::HerdApp herd_probe;
-    runWorkload(args, "herd",
-                [] { return std::make_unique<app::HerdApp>(); },
-                core::estimateCapacityRps(sys, herd_probe));
-
-    app::SyntheticApp gev_probe(sim::SyntheticKind::Gev);
-    runWorkload(args, "synthetic-gev",
-                [] {
-                    return std::make_unique<app::SyntheticApp>(
-                        sim::SyntheticKind::Gev);
-                },
-                core::estimateCapacityRps(sys, gev_probe));
+    std::vector<app::WorkloadSpec> workloads = {
+        app::WorkloadSpec("herd"),
+        app::WorkloadSpec("synthetic:dist=gev")};
+    if (!args.workload.empty())
+        workloads = {app::WorkloadSpec(args.workload)};
+    args.workload.clear();
+    for (const app::WorkloadSpec &workload : workloads) {
+        runWorkload(args, workload.toString(), workload,
+                    core::estimateCapacityRps(sys, workload));
+    }
     return 0;
 }

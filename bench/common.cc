@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "app/workload.hh"
 #include "net/arrival.hh"
 #include "sim/logging.hh"
 
@@ -47,6 +48,13 @@ struct JsonReport
         bool holds = false;
     };
     std::vector<ClaimEntry> claims;
+
+    struct ClassStatsEntry
+    {
+        std::string label;
+        std::vector<core::ClassStats> classes;
+    };
+    std::vector<ClassStatsEntry> classStats;
 };
 
 JsonReport &
@@ -144,14 +152,17 @@ writeJsonReport()
     std::fprintf(f,
                  "  \"args\": {\"points\": %zu, \"rpcs\": %llu, "
                  "\"warmup\": %llu, \"seed\": %llu, \"fast\": %s, "
-                 "\"policy\": \"%s\", \"arrival\": \"%s\"},\n",
+                 "\"policy\": \"%s\", \"arrival\": \"%s\", "
+                 "\"workload\": \"%s\", \"mode\": \"%s\"},\n",
                  r.args.points,
                  static_cast<unsigned long long>(r.args.rpcs),
                  static_cast<unsigned long long>(r.args.warmup),
                  static_cast<unsigned long long>(r.args.seed),
                  r.args.fast ? "true" : "false",
                  jsonEscape(r.args.policy).c_str(),
-                 jsonEscape(r.args.arrival).c_str());
+                 jsonEscape(r.args.arrival).c_str(),
+                 jsonEscape(r.args.workload).c_str(),
+                 jsonEscape(r.args.mode).c_str());
     std::fputs("  \"series\": [", f);
     for (std::size_t i = 0; i < r.series.size(); ++i) {
         const auto &entry = r.series[i];
@@ -180,6 +191,38 @@ writeJsonReport()
             jsonNumber(f, pt.p99Ns);
             std::fprintf(f, ", \"samples\": %llu}",
                          static_cast<unsigned long long>(pt.samples));
+        }
+        std::fputs("]}", f);
+    }
+    std::fputs("],\n  \"class_stats\": [", f);
+    for (std::size_t i = 0; i < r.classStats.size(); ++i) {
+        const auto &entry = r.classStats[i];
+        std::fprintf(f, "%s\n    {\"label\": \"%s\", \"classes\": [",
+                     i == 0 ? "" : ",",
+                     jsonEscape(entry.label).c_str());
+        for (std::size_t c = 0; c < entry.classes.size(); ++c) {
+            const core::ClassStats &cs = entry.classes[c];
+            std::fprintf(f, "%s\n      {\"class\": \"%s\", "
+                            "\"critical\": %s, \"slo_ns\": ",
+                         c == 0 ? "" : ",", jsonEscape(cs.name).c_str(),
+                         cs.latencyCritical ? "true" : "false");
+            jsonNumber(f, cs.sloNs);
+            std::fprintf(f, ", \"completions\": %llu",
+                         static_cast<unsigned long long>(
+                             cs.completions));
+            std::fputs(", \"achieved_rps\": ", f);
+            jsonNumber(f, cs.achievedRps);
+            std::fputs(", \"mean_ns\": ", f);
+            jsonNumber(f, cs.meanNs);
+            std::fputs(", \"p50_ns\": ", f);
+            jsonNumber(f, cs.p50Ns);
+            std::fputs(", \"p99_ns\": ", f);
+            jsonNumber(f, cs.p99Ns);
+            std::fputs(", \"p999_ns\": ", f);
+            jsonNumber(f, cs.p999Ns);
+            std::fputs(", \"slo_attainment\": ", f);
+            jsonNumber(f, cs.sloAttainment);
+            std::fputs("}", f);
         }
         std::fputs("]}", f);
     }
@@ -255,6 +298,10 @@ parseArgs(int argc, char **argv)
             args.policy = policy;
         else if (const char *arrival = value("--arrival="))
             args.arrival = arrival;
+        else if (const char *workload = value("--workload="))
+            args.workload = workload;
+        else if (const char *mode = value("--mode="))
+            args.mode = mode;
         else if (const char *json = value("--json="))
             args.json = json;
         else if (arg == "--fast")
@@ -321,10 +368,56 @@ applyArrivalOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
 }
 
 void
+applyWorkloadOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
+{
+    if (args.workload.empty())
+        return;
+    cfg.workload = app::WorkloadSpec::parse(args.workload);
+    if (!app::WorkloadRegistry::instance().contains(cfg.workload.name)) {
+        sim::fatal("--workload=" + args.workload +
+                   ": unknown workload (registered: " +
+                   app::WorkloadRegistry::instance().namesJoined() + ")");
+    }
+}
+
+void
+applyModeOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
+{
+    if (args.mode.empty())
+        return;
+    cfg.system.mode = ni::dispatchModeFromName(args.mode);
+}
+
+void
 applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg)
 {
+    applyModeOverride(args, cfg);
     applyPolicyOverride(args, cfg);
     applyArrivalOverride(args, cfg);
+    applyWorkloadOverride(args, cfg);
+}
+
+void
+dropModeAxis(BenchArgs &args)
+{
+    if (args.mode.empty())
+        return;
+    (void)ni::dispatchModeFromName(args.mode); // typos still die
+    sim::warn("--mode=" + args.mode +
+              " ignored: the dispatch mode is this bench's figure axis");
+    args.mode.clear();
+}
+
+void
+dropWorkloadAxis(BenchArgs &args)
+{
+    if (args.workload.empty())
+        return;
+    core::ExperimentConfig probe;
+    applyWorkloadOverride(args, probe); // typos still die
+    sim::warn("--workload=" + args.workload +
+              " ignored: the workload is this bench's figure axis");
+    args.workload.clear();
 }
 
 void
@@ -389,6 +482,45 @@ printSloSummary(const std::string &title,
 }
 
 void
+recordClassStats(const std::string &label,
+                 const std::vector<core::ClassStats> &classes)
+{
+    JsonReport &r = report();
+    if (!r.enabled)
+        return;
+    for (auto &entry : r.classStats) {
+        if (entry.label == label) {
+            entry.classes = classes;
+            return;
+        }
+    }
+    r.classStats.push_back({label, classes});
+}
+
+void
+printClassStats(const std::string &label,
+                const std::vector<core::ClassStats> &classes)
+{
+    recordClassStats(label, classes);
+    std::printf("\n-- per-class tails: %s --\n", label.c_str());
+    std::printf("%16s %5s %12s %10s %10s %10s %10s %12s\n", "class",
+                "crit", "tput(Mrps)", "p50(us)", "p99(us)", "p99.9(us)",
+                "SLO(us)", "SLO-attain");
+    for (const core::ClassStats &cs : classes) {
+        std::printf("%16s %5s %12.3f %10.2f %10.2f %10.2f ",
+                    cs.name.c_str(), cs.latencyCritical ? "yes" : "no",
+                    cs.achievedRps / 1e6, cs.p50Ns / 1e3,
+                    cs.p99Ns / 1e3, cs.p999Ns / 1e3);
+        if (cs.sloNs > 0.0) {
+            std::printf("%10.2f %11.1f%%\n", cs.sloNs / 1e3,
+                        100.0 * cs.sloAttainment);
+        } else {
+            std::printf("%10s %12s\n", "-", "-");
+        }
+    }
+}
+
+void
 claim(const std::string &what, double paper_value, double measured_value,
       double rel_tol)
 {
@@ -404,8 +536,8 @@ claim(const std::string &what, double paper_value, double measured_value,
 
 core::SweepConfig
 makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
-          core::AppFactory factory, const std::string &label,
-          double capacity_rps, double lo_util, double hi_util)
+          const std::string &label, double capacity_rps, double lo_util,
+          double hi_util)
 {
     core::SweepConfig sweep;
     sweep.base = base;
@@ -415,9 +547,19 @@ makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
     applyOverrides(args, sweep.base);
     for (double u : core::loadGrid(lo_util, hi_util, args.points))
         sweep.arrivalRates.push_back(u * capacity_rps);
-    sweep.appFactory = std::move(factory);
     sweep.label = label;
     sweep.threads = args.threads;
+    return sweep;
+}
+
+core::SweepConfig
+makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
+          core::AppFactory factory, const std::string &label,
+          double capacity_rps, double lo_util, double hi_util)
+{
+    core::SweepConfig sweep =
+        makeSweep(args, base, label, capacity_rps, lo_util, hi_util);
+    sweep.appFactory = std::move(factory);
     return sweep;
 }
 

@@ -25,6 +25,22 @@
  *                 keeps each bench's default (the paper's Poisson).
  *                 ablation_burstiness narrows its arrival sweep to
  *                 just this spec. Ignored by the analytical benches.
+ *   --workload=SPEC workload spec (registry string such as "herd",
+ *                 "masstree:scan_ratio=0.02", "synthetic:dist=gev",
+ *                 "mix:masstree-get=0.998,masstree-scan=0.002");
+ *                 empty keeps each bench's default. Overrides the
+ *                 workload in every simulator-driven bench via
+ *                 applyOverrides; benches that sweep workloads as
+ *                 their figure axis (fig7c, fig8, fig9,
+ *                 summary_table) keep their axis and ignore it, like
+ *                 the analytical benches.
+ *   --mode=NAME   queuing topology ("1x16", "4x4", "16x1",
+ *                 "sw-1x16"); empty keeps each bench's default.
+ *                 Benches whose figure axis is the mode (fig7a/b/c,
+ *                 fig8, latency_breakdown, summary_table) ignore it.
+ *                 With the spec flags above, a run is fully
+ *                 declarative: --mode, --policy, --arrival,
+ *                 --workload.
  *   --json=FILE   write results (series, claims, args, perf) as JSON
  *                 at exit — the machine-readable feed behind CI's
  *                 bench-results artifact and the BENCH_*.json perf
@@ -65,6 +81,10 @@ struct BenchArgs
     std::string policy;
     /** Arrival-process spec override; empty = bench default. */
     std::string arrival;
+    /** Workload spec override; empty = bench default. */
+    std::string workload;
+    /** Dispatch-mode override ("1x16", ...); empty = bench default. */
+    std::string mode;
     /** JSON results path; empty = no JSON output. */
     std::string json;
 };
@@ -87,11 +107,33 @@ void applyArrivalOverride(const BenchArgs &args,
                           core::ExperimentConfig &cfg);
 
 /**
- * Apply every spec override (--policy, --arrival). makeSweep calls
- * this on the sweep base; benches that build ExperimentConfigs
- * directly call it themselves.
+ * Apply --workload to @p cfg when set (fatal on a malformed or
+ * unregistered spec).
+ */
+void applyWorkloadOverride(const BenchArgs &args,
+                           core::ExperimentConfig &cfg);
+
+/** Apply --mode to @p cfg when set (fatal on an unknown mode name). */
+void applyModeOverride(const BenchArgs &args,
+                       core::ExperimentConfig &cfg);
+
+/**
+ * Apply every declarative override (--mode, --policy, --arrival,
+ * --workload). makeSweep calls this on the sweep base; benches that
+ * build ExperimentConfigs directly call it themselves.
  */
 void applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg);
+
+/**
+ * Benches whose figure axis is the dispatch mode call this right
+ * after parseArgs: a provided --mode is still validated (typos die
+ * loudly) but then dropped with a warning, since the bench sweeps
+ * every mode itself.
+ */
+void dropModeAxis(BenchArgs &args);
+
+/** Same for benches whose figure axis is the workload. */
+void dropWorkloadAxis(BenchArgs &args);
 
 /** Print the standard figure banner. */
 void printHeader(const std::string &figure, const std::string &summary);
@@ -130,7 +172,31 @@ void claim(const std::string &what, double paper_value,
 void recordJsonSeries(const stats::Series &series,
                       double capacity_rps = 0.0, double sbar_ns = 0.0);
 
-/** Build a sweep over utilization levels of an estimated capacity. */
+/**
+ * Print a run's per-request-class breakdown (throughput, p50/p99/
+ * p99.9, SLO attainment — scans and other non-critical classes
+ * included) and record it under @p label in the --json report's
+ * "class_stats" array. Labels are unique keys: re-recording a label
+ * updates it in place.
+ */
+void printClassStats(const std::string &label,
+                     const std::vector<core::ClassStats> &classes);
+
+/** Record per-class stats for --json output without printing. */
+void recordClassStats(const std::string &label,
+                      const std::vector<core::ClassStats> &classes);
+
+/**
+ * Build a sweep over utilization levels of an estimated capacity —
+ * spec-driven: each point instantiates base.workload (after
+ * applyOverrides) through the app::WorkloadRegistry.
+ */
+core::SweepConfig
+makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
+          const std::string &label, double capacity_rps, double lo_util,
+          double hi_util);
+
+/** Legacy shim of makeSweep with a caller-supplied app factory. */
 core::SweepConfig
 makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
           core::AppFactory factory, const std::string &label,

@@ -9,24 +9,27 @@
  */
 
 #include <cstdio>
-#include <memory>
 
-#include "app/herd_app.hh"
 #include "common.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace rpcvalet;
-    const auto args = bench::parseArgs(argc, argv);
+    auto args = bench::parseArgs(argc, argv);
+    // The dispatch mode is this figure's axis.
+    bench::dropModeAxis(args);
 
     bench::printHeader("Figure 7a: HERD, hardware queuing systems",
                        "16x1 vs 4x4 vs 1x16; SLO = 10x S-bar");
 
-    auto factory = [] { return std::make_unique<app::HerdApp>(); };
-    app::HerdApp probe;
+    // Fully declarative run: the workload is a registry spec (default
+    // "herd", overridable with --workload).
+    const app::WorkloadSpec workload =
+        args.workload.empty() ? app::WorkloadSpec("herd")
+                              : app::WorkloadSpec(args.workload);
     node::SystemParams sys;
-    const double capacity = core::estimateCapacityRps(sys, probe);
+    const double capacity = core::estimateCapacityRps(sys, workload);
 
     const std::vector<ni::DispatchMode> modes = {
         ni::DispatchMode::SingleQueue, ni::DispatchMode::PerBackendGroup,
@@ -37,7 +40,8 @@ main(int argc, char **argv)
     for (const auto mode : modes) {
         core::ExperimentConfig base;
         base.system.mode = mode;
-        auto sweep = bench::makeSweep(args, base, factory,
+        base.workload = workload;
+        auto sweep = bench::makeSweep(args, base,
                                       ni::dispatchModeName(mode),
                                       capacity, 0.10, 1.02);
         const auto result = core::runSweep(sweep);

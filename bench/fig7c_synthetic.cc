@@ -9,10 +9,9 @@
  */
 
 #include <cstdio>
-#include <memory>
 
-#include "app/synthetic_app.hh"
 #include "common.hh"
+#include "sim/distributions.hh"
 
 namespace {
 
@@ -27,12 +26,12 @@ struct FigureResult
 FigureResult
 runDistribution(const bench::BenchArgs &args, sim::SyntheticKind kind)
 {
-    auto factory = [kind] {
-        return std::make_unique<app::SyntheticApp>(kind);
-    };
-    app::SyntheticApp probe(kind);
+    // The synthetic workloads are registry specs parameterized by
+    // distribution: "synthetic:dist=fixed", "synthetic:dist=gev", ...
+    const app::WorkloadSpec workload(
+        "synthetic:dist=" + sim::syntheticKindName(kind));
     node::SystemParams sys;
-    const double capacity = core::estimateCapacityRps(sys, probe);
+    const double capacity = core::estimateCapacityRps(sys, workload);
 
     FigureResult out;
     const std::vector<ni::DispatchMode> modes = {
@@ -41,8 +40,9 @@ runDistribution(const bench::BenchArgs &args, sim::SyntheticKind kind)
     for (const auto mode : modes) {
         core::ExperimentConfig base;
         base.system.mode = mode;
+        base.workload = workload;
         auto sweep = bench::makeSweep(
-            args, base, factory,
+            args, base,
             ni::dispatchModeName(mode) + "_" +
                 sim::syntheticKindName(kind),
             capacity, 0.10, 1.02);
@@ -80,7 +80,10 @@ checkClaims(const FigureResult &r, const char *name, double vs_4x4,
 int
 main(int argc, char **argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
+    auto args = bench::parseArgs(argc, argv);
+    // Both the mode and the workload are this figure's axes.
+    bench::dropModeAxis(args);
+    bench::dropWorkloadAxis(args);
 
     bench::printHeader("Figure 7c: synthetic distributions (fixed, GEV)",
                        "hardware queuing systems under SLO = 10x S-bar");

@@ -10,16 +10,18 @@
  */
 
 #include <cstdio>
-#include <memory>
 
-#include "app/synthetic_app.hh"
 #include "common.hh"
+#include "sim/distributions.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace rpcvalet;
     auto args = bench::parseArgs(argc, argv);
+    // Both the mode and the workload are this figure's axes.
+    bench::dropModeAxis(args);
+    bench::dropWorkloadAxis(args);
     // The software knee is sharp (M/D/1 lock); resolve it with a
     // denser grid than the other figures need.
     args.points = std::max<std::size_t>(args.points, args.fast ? 8 : 14);
@@ -30,12 +32,10 @@ main(int argc, char **argv)
     double worst_ratio = 1e9;
     double best_ratio = 0.0;
     for (const auto kind : sim::allSyntheticKinds()) {
-        auto factory = [kind] {
-            return std::make_unique<app::SyntheticApp>(kind);
-        };
-        app::SyntheticApp probe(kind);
+        const app::WorkloadSpec workload(
+            "synthetic:dist=" + sim::syntheticKindName(kind));
         node::SystemParams sys;
-        const double capacity = core::estimateCapacityRps(sys, probe);
+        const double capacity = core::estimateCapacityRps(sys, workload);
         const auto name = sim::syntheticKindName(kind);
 
         std::vector<stats::Series> pair;
@@ -44,6 +44,7 @@ main(int argc, char **argv)
                                 ni::DispatchMode::SoftwarePull}) {
             core::ExperimentConfig base;
             base.system.mode = mode;
+            base.workload = workload;
             const bool hw = mode == ni::DispatchMode::SingleQueue;
             // The software curve saturates on the MCS lock well below
             // core capacity, with a sharp M/D/1-style knee; sweep it
@@ -55,8 +56,8 @@ main(int argc, char **argv)
             const double cap = hw ? capacity
                                   : std::min(capacity, lock_capacity);
             auto sweep = bench::makeSweep(
-                args, base, factory, name + (hw ? "_hw" : "_sw"), cap,
-                0.08, 1.02);
+                args, base, name + (hw ? "_hw" : "_sw"), cap, 0.08,
+                1.02);
             const auto result = core::runSweep(sweep);
             pair.push_back(result.series);
             if (hw)

@@ -13,17 +13,18 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <memory>
 
-#include "app/synthetic_app.hh"
 #include "common.hh"
+#include "sim/distributions.hh"
 #include "queueing/model.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace rpcvalet;
-    const auto args = bench::parseArgs(argc, argv);
+    auto args = bench::parseArgs(argc, argv);
+    // The workload is this figure's axis.
+    bench::dropWorkloadAxis(args);
 
     bench::printHeader(
         "Figure 9: RPCValet vs theoretical 1x16 queuing model",
@@ -32,16 +33,14 @@ main(int argc, char **argv)
     double worst_gap = 0.0;
     for (const auto kind : sim::allSyntheticKinds()) {
         const auto name = sim::syntheticKindName(kind);
-        auto factory = [kind] {
-            return std::make_unique<app::SyntheticApp>(kind);
-        };
 
         // --- full-system simulation sweep (1x16) ---
-        app::SyntheticApp probe(kind);
+        const app::WorkloadSpec workload("synthetic:dist=" + name);
         node::SystemParams sys;
-        const double capacity = core::estimateCapacityRps(sys, probe);
+        const double capacity = core::estimateCapacityRps(sys, workload);
         core::ExperimentConfig base;
-        auto sweep = bench::makeSweep(args, base, factory, name + "-sim",
+        base.workload = workload;
+        auto sweep = bench::makeSweep(args, base, name + "-sim",
                                       capacity, 0.10, 0.95);
         const auto sim_result = core::runSweep(sweep);
         const double sbar_ns = sim_result.runs.front().meanServiceNs;

@@ -10,22 +10,24 @@
  */
 
 #include <cstdio>
-#include <memory>
 
-#include "app/synthetic_app.hh"
 #include "common.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace rpcvalet;
-    const auto args = bench::parseArgs(argc, argv);
+    auto args = bench::parseArgs(argc, argv);
+    // The dispatch mode is this figure's axis.
+    bench::dropModeAxis(args);
     bench::printHeader("Latency breakdown by dispatch design",
                        "GEV service; component means in ns");
 
-    app::SyntheticApp probe(sim::SyntheticKind::Gev);
+    const app::WorkloadSpec workload =
+        args.workload.empty() ? app::WorkloadSpec("synthetic:dist=gev")
+                              : app::WorkloadSpec(args.workload);
     node::SystemParams sys;
-    const double capacity = core::estimateCapacityRps(sys, probe);
+    const double capacity = core::estimateCapacityRps(sys, workload);
 
     std::printf("\n%-9s %7s | %12s %12s %12s %12s | %10s\n", "mode",
                 "load", "reassembly", "dispatch", "queueWait",
@@ -40,9 +42,9 @@ main(int argc, char **argv)
             cfg.arrivalRps = load * capacity;
             cfg.warmupRpcs = args.warmup;
             cfg.measuredRpcs = args.rpcs;
+            cfg.workload = workload;
             bench::applyOverrides(args, cfg);
-            app::SyntheticApp app(sim::SyntheticKind::Gev);
-            const auto r = core::runExperiment(cfg, app);
+            const auto r = core::runExperiment(cfg);
             std::printf("%-9s %7.2f | %12.1f %12.1f %12.1f %12.1f | "
                         "%10.2f\n",
                         ni::dispatchModeName(mode).c_str(), load,

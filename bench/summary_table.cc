@@ -9,11 +9,7 @@
  */
 
 #include <cstdio>
-#include <memory>
 
-#include "app/herd_app.hh"
-#include "app/masstree_app.hh"
-#include "app/synthetic_app.hh"
 #include "common.hh"
 
 namespace {
@@ -32,37 +28,31 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    const auto args = bench::parseArgs(argc, argv);
+    auto args = bench::parseArgs(argc, argv);
+    // Both the mode and the workload are this table's axes.
+    bench::dropModeAxis(args);
+    bench::dropWorkloadAxis(args);
     bench::printHeader("Summary: throughput under SLO, all workloads",
                        "modes: 1x16 (RPCValet), 4x4, 16x1, sw-1x16");
 
-    const std::vector<ni::DispatchMode> modes = {
-        ni::DispatchMode::SingleQueue, ni::DispatchMode::PerBackendGroup,
-        ni::DispatchMode::StaticHash, ni::DispatchMode::SoftwarePull};
+    const std::vector<ni::DispatchMode> modes = ni::allDispatchModes();
 
     struct Workload
     {
         std::string name;
-        core::AppFactory factory;
+        app::WorkloadSpec spec;
         double fixed_slo_ns; // 0 => 10x measured S-bar
     };
     const std::vector<Workload> workloads = {
-        {"herd", [] { return std::make_unique<app::HerdApp>(); }, 0.0},
-        {"synthetic-gev",
-         [] {
-             return std::make_unique<app::SyntheticApp>(
-                 sim::SyntheticKind::Gev);
-         },
-         0.0},
-        {"masstree",
-         [] { return std::make_unique<app::MasstreeApp>(); }, 12500.0},
+        {"herd", app::WorkloadSpec("herd"), 0.0},
+        {"synthetic-gev", app::WorkloadSpec("synthetic:dist=gev"), 0.0},
+        {"masstree", app::WorkloadSpec("masstree"), 12500.0},
     };
 
     std::vector<Row> rows;
     for (const auto &w : workloads) {
-        auto probe = w.factory();
         node::SystemParams sys;
-        const double capacity = core::estimateCapacityRps(sys, *probe);
+        const double capacity = core::estimateCapacityRps(sys, w.spec);
 
         Row row;
         row.workload = w.name;
@@ -71,6 +61,7 @@ main(int argc, char **argv)
         for (const auto mode : modes) {
             core::ExperimentConfig base;
             base.system.mode = mode;
+            base.workload = w.spec;
             // The software queue saturates on the MCS lock; give its
             // sweep a lock-bound grid so the sharp knee is resolved
             // (same treatment as fig8).
@@ -81,7 +72,7 @@ main(int argc, char **argv)
                                1e9 / sim::toNs(mcs.handoff +
                                                mcs.criticalSection));
             }
-            auto sweep = bench::makeSweep(args, base, w.factory,
+            auto sweep = bench::makeSweep(args, base,
                                           ni::dispatchModeName(mode),
                                           cap, 0.10, 1.02);
             const auto result = core::runSweep(sweep);

@@ -18,7 +18,6 @@
 #include <memory>
 #include <string>
 
-#include "app/synthetic_app.hh"
 #include "core/experiment.hh"
 #include "sim/logging.hh"
 
@@ -76,17 +75,18 @@ const net::ArrivalRegistrar paretoRegistrar(
 double
 p99AtLoad(const net::ArrivalSpec &arrival, double utilization)
 {
+    // Declarative run: arrival and workload are both registry specs.
     node::SystemParams sys;
-    app::SyntheticApp probe(sim::SyntheticKind::Gev);
-    const double capacity = core::estimateCapacityRps(sys, probe);
+    const app::WorkloadSpec workload("synthetic:dist=gev");
+    const double capacity = core::estimateCapacityRps(sys, workload);
     core::ExperimentConfig cfg;
     cfg.system = sys;
     cfg.arrival = arrival;
+    cfg.workload = workload;
     cfg.arrivalRps = utilization * capacity;
     cfg.warmupRpcs = 2000;
     cfg.measuredRpcs = 25000;
-    app::SyntheticApp app(sim::SyntheticKind::Gev);
-    return core::runExperiment(cfg, app).point.p99Ns;
+    return core::runExperiment(cfg).point.p99Ns;
 }
 
 } // namespace

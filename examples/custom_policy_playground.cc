@@ -16,7 +16,6 @@
 #include <memory>
 #include <string>
 
-#include "app/synthetic_app.hh"
 #include "core/experiment.hh"
 #include "sim/logging.hh"
 
@@ -82,15 +81,16 @@ const ni::PolicyRegistrar stickyRegistrar(
 double
 p99AtLoad(const node::SystemParams &sys, double utilization)
 {
-    app::SyntheticApp probe(sim::SyntheticKind::Gev);
-    const double capacity = core::estimateCapacityRps(sys, probe);
+    // Declarative run: the GEV echo workload is a registry spec.
+    const app::WorkloadSpec workload("synthetic:dist=gev");
+    const double capacity = core::estimateCapacityRps(sys, workload);
     core::ExperimentConfig cfg;
     cfg.system = sys;
+    cfg.workload = workload;
     cfg.arrivalRps = utilization * capacity;
     cfg.warmupRpcs = 2000;
     cfg.measuredRpcs = 25000;
-    app::SyntheticApp app(sim::SyntheticKind::Gev);
-    return core::runExperiment(cfg, app).point.p99Ns;
+    return core::runExperiment(cfg).point.p99Ns;
 }
 
 } // namespace

@@ -11,9 +11,7 @@
  */
 
 #include <cstdio>
-#include <memory>
 
-#include "app/herd_app.hh"
 #include "core/experiment.hh"
 #include "stats/slo.hh"
 
@@ -22,27 +20,23 @@ main()
 {
     using namespace rpcvalet;
 
-    app::HerdApp probe;
+    const app::WorkloadSpec workload("herd");
     node::SystemParams sys;
-    const double capacity = core::estimateCapacityRps(sys, probe);
+    const double capacity = core::estimateCapacityRps(sys, workload);
     std::printf("KV store on a 16-core chip; estimated capacity "
                 "%.1f Mrps\n",
                 capacity / 1e6);
 
     std::vector<stats::Series> all;
     double sbar_ns = 0.0;
-    for (const auto mode :
-         {ni::DispatchMode::SingleQueue, ni::DispatchMode::PerBackendGroup,
-          ni::DispatchMode::StaticHash, ni::DispatchMode::SoftwarePull}) {
+    for (const auto mode : ni::allDispatchModes()) {
         core::SweepConfig sweep;
         sweep.base.system.mode = mode;
+        sweep.base.workload = workload; // spec-driven: no app factory
         sweep.base.warmupRpcs = 3000;
         sweep.base.measuredRpcs = 30000;
         for (double u : core::loadGrid(0.2, 1.0, 7))
             sweep.arrivalRates.push_back(u * capacity);
-        sweep.appFactory = [] {
-            return std::make_unique<app::HerdApp>();
-        };
         sweep.label = ni::dispatchModeName(mode);
         sweep.threads = 2;
         const auto result = core::runSweep(sweep);

@@ -13,12 +13,11 @@
  */
 
 #include <cstdio>
-#include <memory>
 
-#include "app/synthetic_app.hh"
 #include "app/wire_format.hh"
 #include "core/experiment.hh"
 #include "proto/packet.hh"
+#include "sim/logging.hh"
 
 int
 main()
@@ -32,15 +31,15 @@ main()
 
     for (const std::uint32_t padding :
          {24u, 500u, 1000u, 1900u, 2500u, 4000u, 8000u, 16000u}) {
-        auto app = std::make_unique<app::SyntheticApp>(
-            sim::SyntheticKind::Fixed);
-        app->setRequestPaddingBytes(padding);
-
         core::ExperimentConfig cfg;
+        // The request size is a workload-spec parameter, so the whole
+        // sweep is declarative.
+        cfg.workload = app::WorkloadSpec(
+            sim::strfmt("synthetic:dist=fixed,padding=%u", padding));
         cfg.arrivalRps = 1e6; // light load: pure path latency
         cfg.warmupRpcs = 500;
         cfg.measuredRpcs = 8000;
-        const auto r = core::runExperiment(cfg, *app);
+        const auto r = core::runExperiment(cfg);
 
         const std::uint32_t request_bytes =
             static_cast<std::uint32_t>(padding +

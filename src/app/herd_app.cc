@@ -113,6 +113,14 @@ HerdApp::meanProcessingNs() const
     return processing_->mean();
 }
 
+std::vector<RequestClass>
+HerdApp::requestClasses() const
+{
+    // One class: gets and puts share the Fig. 6b processing profile.
+    // SLO follows the paper's 10x mean processing time.
+    return {RequestClass{name(), true, 10.0 * processing_->mean()}};
+}
+
 std::string
 HerdApp::name() const
 {

@@ -39,6 +39,7 @@ class HerdApp : public RpcApplication
     bool verifyReply(const std::vector<std::uint8_t> &request,
                      const std::vector<std::uint8_t> &reply) const override;
     double meanProcessingNs() const override;
+    std::vector<RequestClass> requestClasses() const override;
     std::string name() const override;
 
     /** Deterministic value bytes for @p key (load + verification). */

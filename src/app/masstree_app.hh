@@ -49,6 +49,7 @@ class MasstreeApp : public RpcApplication
                      const std::vector<std::uint8_t> &reply) const override;
     double meanProcessingNs() const override;
     double latencyCriticalMeanNs() const override;
+    std::vector<RequestClass> requestClasses() const override;
     std::string name() const override;
 
     /** Deterministic value bytes for @p key. */
@@ -58,6 +59,12 @@ class MasstreeApp : public RpcApplication
     const SkipList &store() const { return store_; }
 
   private:
+    /** Local class id of gets (always 0 when gets are generated). */
+    std::uint8_t getClassId() const { return 0; }
+    /** Local class id of scans: 1 in the mixed configuration, 0 when
+     *  the workload is scan-only (getFraction <= 0). */
+    std::uint8_t scanClassId() const;
+
     Params params_;
     SkipList store_;
     sim::DistributionPtr getProcessing_;

@@ -26,6 +26,33 @@
 
 namespace rpcvalet::app {
 
+/**
+ * One request class of a workload — the unit of per-class tail
+ * accounting. A workload declares its classes once (requestClasses());
+ * every request carries its class id on the wire (the byte after the
+ * opcode) and every HandleResult echoes it, so the serving node can
+ * keep one latency recorder per class. Masstree, for example, declares
+ * a latency-critical "get" class and a non-critical "scan" class —
+ * previously scan latency was simply discarded.
+ */
+struct RequestClass
+{
+    /** Class name for reports ("get", "scan", "herd", ...). */
+    std::string name;
+    /**
+     * Whether this class counts toward the headline tail metric.
+     * Masstree's long scans are served but not latency-critical (§6.1).
+     */
+    bool latencyCritical = true;
+    /**
+     * Declared per-class p99 SLO bound, ns (0 = none declared). The
+     * built-ins use the paper's 10x mean class processing time —
+     * e.g. Masstree gets declare §6.1's 12.5 us. Per-class SLO
+     * attainment in RunStats is computed against this bound.
+     */
+    double sloNs = 0.0;
+};
+
 /** Result of serving one RPC. */
 struct HandleResult
 {
@@ -38,6 +65,11 @@ struct HandleResult
      * Masstree's long scans are served but not latency-critical (§6.1).
      */
     bool latencyCritical = true;
+    /**
+     * Which of the workload's requestClasses() this RPC belonged to;
+     * must index into that vector. Single-class workloads leave it 0.
+     */
+    std::uint8_t classId = 0;
 };
 
 /** Interface every workload implements. */
@@ -66,6 +98,18 @@ class RpcApplication
     latencyCriticalMeanNs() const
     {
         return meanProcessingNs();
+    }
+
+    /**
+     * The workload's request classes, indexed by the class id carried
+     * on the wire and echoed through HandleResult.classId. Must be
+     * non-empty and stable for the workload's lifetime. The default is
+     * a single latency-critical class named after the workload.
+     */
+    virtual std::vector<RequestClass>
+    requestClasses() const
+    {
+        return {RequestClass{name(), true, 0.0}};
     }
 
     /** Workload name for reports. */

@@ -88,6 +88,12 @@ SyntheticApp::meanProcessingNs() const
     return processing_->mean();
 }
 
+std::vector<RequestClass>
+SyntheticApp::requestClasses() const
+{
+    return {RequestClass{label_, true, 10.0 * processing_->mean()}};
+}
+
 std::string
 SyntheticApp::name() const
 {

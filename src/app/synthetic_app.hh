@@ -42,6 +42,7 @@ class SyntheticApp : public RpcApplication
     bool verifyReply(const std::vector<std::uint8_t> &request,
                      const std::vector<std::uint8_t> &reply) const override;
     double meanProcessingNs() const override;
+    std::vector<RequestClass> requestClasses() const override;
     std::string name() const override;
 
   private:

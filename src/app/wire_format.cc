@@ -47,6 +47,7 @@ encodeRequest(const RpcRequest &req)
     std::vector<std::uint8_t> out;
     out.reserve(requestHeaderBytes + req.value.size());
     out.push_back(static_cast<std::uint8_t>(req.op));
+    out.push_back(req.classId);
     putU64(out, req.key);
     putU32(out, req.count);
     putU32(out, static_cast<std::uint32_t>(req.value.size()));
@@ -63,9 +64,10 @@ decodeRequest(const std::vector<std::uint8_t> &bytes)
     if (bytes[0] > static_cast<std::uint8_t>(RpcOp::Echo))
         return std::nullopt;
     req.op = static_cast<RpcOp>(bytes[0]);
-    req.key = getU64(bytes, 1);
-    req.count = getU32(bytes, 9);
-    const std::uint32_t vlen = getU32(bytes, 13);
+    req.classId = bytes[requestClassOffset];
+    req.key = getU64(bytes, 2);
+    req.count = getU32(bytes, 10);
+    const std::uint32_t vlen = getU32(bytes, 14);
     if (bytes.size() < requestHeaderBytes + vlen)
         return std::nullopt;
     req.value.assign(bytes.begin() + requestHeaderBytes,

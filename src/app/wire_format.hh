@@ -7,8 +7,16 @@
  * receive buffers, parsed by the serving core), so application results
  * are verifiable end to end.
  *
- * Request:  [op:u8][key:u64le][count:u32le][vlen:u32le][value...]
+ * Request:  [op:u8][class:u8][key:u64le][count:u32le][vlen:u32le][value...]
  * Reply:    [status:u8][vlen:u32le][value...]
+ *
+ * The class byte tags which request class of the generating workload
+ * this RPC belongs to (see app::RequestClass): the client stamps it in
+ * makeRequest, composite workloads ("mix") remap it into their global
+ * class table, and the serving node uses the id echoed through
+ * HandleResult for per-class tail accounting. Replies carry no class —
+ * the server reports it, so replies stay byte-identical across
+ * workload compositions.
  */
 
 #ifndef RPCVALET_APP_WIRE_FORMAT_HH
@@ -42,6 +50,9 @@ enum class RpcStatus : std::uint8_t
 struct RpcRequest
 {
     RpcOp op = RpcOp::Get;
+    /** Request-class id within the generating workload (see
+     *  app::RequestClass); single-class workloads leave it 0. */
+    std::uint8_t classId = 0;
     std::uint64_t key = 0;
     /** Scan length for Scan requests. */
     std::uint32_t count = 0;
@@ -56,8 +67,11 @@ struct RpcReply
 };
 
 /** Fixed header sizes. */
-constexpr std::size_t requestHeaderBytes = 1 + 8 + 4 + 4;
+constexpr std::size_t requestHeaderBytes = 1 + 1 + 8 + 4 + 4;
 constexpr std::size_t replyHeaderBytes = 1 + 4;
+
+/** Byte offset of the request-class id within an encoded request. */
+constexpr std::size_t requestClassOffset = 1;
 
 /** Serialize a request. */
 std::vector<std::uint8_t> encodeRequest(const RpcRequest &req);

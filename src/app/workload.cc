@@ -1,0 +1,109 @@
+#include "app/workload.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::app {
+
+// Defined in workloads.cc. Calling it from instance() forces that
+// archive member — whose only entry points are its static registrars —
+// into every binary that uses the registry.
+void linkBuiltinWorkloads();
+
+WorkloadSpec::WorkloadSpec()
+{
+    what = "workload";
+    name = "herd";
+}
+
+WorkloadSpec::WorkloadSpec(const char *text) : WorkloadSpec(parse(text))
+{}
+
+WorkloadSpec::WorkloadSpec(const std::string &text)
+    : WorkloadSpec(parse(text))
+{}
+
+WorkloadSpec
+WorkloadSpec::parse(const std::string &text)
+{
+    WorkloadSpec spec;
+    static_cast<sim::Spec &>(spec) = sim::Spec::parse(text, "workload");
+    return spec;
+}
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    linkBuiltinWorkloads();
+    return registry;
+}
+
+void
+WorkloadRegistry::add(const std::string &name, Factory factory)
+{
+    if (name.empty())
+        sim::fatal("cannot register a workload with an empty name");
+    if (factory == nullptr)
+        sim::fatal("workload '" + name + "' has a null factory");
+    if (!factories_.emplace(name, std::move(factory)).second) {
+        sim::fatal("workload '" + name +
+                   "' is already registered (duplicate registration)");
+    }
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    return factories_.count(name) > 0;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_) {
+        (void)factory;
+        out.push_back(name); // std::map iterates in sorted order
+    }
+    return out;
+}
+
+std::string
+WorkloadRegistry::namesJoined() const
+{
+    std::string out;
+    for (const auto &[name, factory] : factories_) {
+        (void)factory;
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+RpcApplicationPtr
+WorkloadRegistry::make(const WorkloadSpec &spec) const
+{
+    const auto it = factories_.find(spec.name);
+    if (it == factories_.end()) {
+        sim::fatal("unknown workload '" + spec.name +
+                   "' (registered workloads: " + namesJoined() + ")");
+    }
+    auto app = it->second(spec);
+    if (app == nullptr) {
+        sim::panic("factory for workload '" + spec.name +
+                   "' returned null");
+    }
+    return app;
+}
+
+WorkloadRegistrar::WorkloadRegistrar(const std::string &name,
+                                     WorkloadRegistry::Factory factory)
+{
+    WorkloadRegistry::instance().add(name, std::move(factory));
+}
+
+} // namespace rpcvalet::app

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <thread>
+#include <utility>
 
 #include "net/traffic_gen.hh"
 #include "node/rpc_node.hh"
@@ -21,6 +22,14 @@ std::uint64_t
 totalSimulatedEvents()
 {
     return g_simulatedEvents.load(std::memory_order_relaxed);
+}
+
+RunStats
+runExperiment(const ExperimentConfig &cfg)
+{
+    const app::RpcApplicationPtr app =
+        app::WorkloadRegistry::instance().make(cfg.workload);
+    return runExperiment(cfg, *app);
 }
 
 RunStats
@@ -63,6 +72,7 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     sim.run();
 
     RunStats out;
+    out.workload = app.name();
     out.point.offeredRps = cfg.arrivalRps;
     const auto &rec = node.criticalLatency();
     out.point.meanNs = rec.meanNs();
@@ -97,14 +107,60 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     out.breakdown.dispatch = component(bd.dispatch);
     out.breakdown.queueWait = component(bd.queueWait);
     out.breakdown.service = component(bd.service);
+
+    // Per-class breakdown: full tail accounting for every declared
+    // request class, non-critical ones (scans) included.
+    const double window_s = measure_end > measure_start
+                                ? sim::toSeconds(measure_end -
+                                                 measure_start)
+                                : 0.0;
+    for (const auto &acct : node.classAccounting()) {
+        ClassStats cs;
+        cs.name = acct.info.name;
+        cs.latencyCritical = acct.info.latencyCritical;
+        cs.sloNs = acct.info.sloNs;
+        cs.completions = acct.latency.count();
+        if (window_s > 0.0) {
+            cs.achievedRps =
+                static_cast<double>(cs.completions) / window_s;
+        }
+        cs.meanNs = acct.latency.meanNs();
+        cs.p50Ns = acct.latency.percentileNs(50.0);
+        cs.p99Ns = acct.latency.percentileNs(99.0);
+        cs.p999Ns = acct.latency.percentileNs(99.9);
+        if (cs.sloNs > 0.0 && cs.completions > 0) {
+            std::uint64_t within = 0;
+            for (const sim::Tick t : acct.latency.samples()) {
+                if (sim::toNs(t) <= cs.sloNs)
+                    ++within;
+            }
+            cs.sloAttainment = static_cast<double>(within) /
+                               static_cast<double>(cs.completions);
+        }
+        out.perClass.push_back(std::move(cs));
+    }
+
+    if (cfg.failOnVerifyError && out.verifyFailures > 0) {
+        sim::fatal(sim::strfmt(
+            "workload '%s': %llu of %llu replies failed application-"
+            "level verification (set ExperimentConfig.failOnVerifyError "
+            "= false to tolerate corrupted replies)",
+            out.workload.c_str(),
+            static_cast<unsigned long long>(out.verifyFailures),
+            static_cast<unsigned long long>(out.completions)));
+    }
     return out;
 }
 
 SweepResult
 runSweep(const SweepConfig &cfg)
 {
-    RV_ASSERT(cfg.appFactory != nullptr, "sweep needs an app factory");
     RV_ASSERT(!cfg.arrivalRates.empty(), "sweep needs load points");
+    // Spec-driven sweeps resolve base.workload per point; validate the
+    // name up front so a typo dies before any point runs (and on the
+    // main thread, with the full registry listing).
+    if (cfg.appFactory == nullptr)
+        (void)app::WorkloadRegistry::instance().make(cfg.base.workload);
 
     SweepResult result;
     result.series.label = cfg.label;
@@ -125,7 +181,10 @@ runSweep(const SweepConfig &cfg)
             // single point's behaviour when the grid changes.
             point_cfg.system.seed =
                 cfg.base.system.seed + 0x1000 * (i + 1);
-            auto app = cfg.appFactory();
+            auto app = cfg.appFactory != nullptr
+                           ? cfg.appFactory()
+                           : app::WorkloadRegistry::instance().make(
+                                 point_cfg.workload);
             result.runs[i] = runExperiment(point_cfg, *app);
         }
     };
@@ -154,6 +213,15 @@ estimateCapacityRps(const node::SystemParams &system,
         app.meanProcessingNs() +
         sim::toNs(system.coreCosts.totalOverhead());
     return static_cast<double>(system.numCores) / (sbar_ns * 1e-9);
+}
+
+double
+estimateCapacityRps(const node::SystemParams &system,
+                    const app::WorkloadSpec &workload)
+{
+    const app::RpcApplicationPtr app =
+        app::WorkloadRegistry::instance().make(workload);
+    return estimateCapacityRps(system, *app);
 }
 
 std::vector<double>

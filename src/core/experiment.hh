@@ -5,19 +5,32 @@
  * tail-latency-vs-throughput curves (the data behind every evaluation
  * figure).
  *
- * Typical use (see examples/quickstart.cc):
+ * A run is fully declarative: the dispatch mode, the dispatch policy,
+ * the arrival process, and the workload are all selected by config
+ * values (the latter three by registry-validated spec strings), so an
+ * experiment is one config struct (see examples/quickstart.cc):
  *
  *   node::SystemParams sys;                    // Table 1 defaults
  *   sys.mode = ni::DispatchMode::SingleQueue;  // RPCValet
  *   sys.policy = "greedy";                     // any registered spec,
  *                                              // e.g. "jbsq:d=2"
- *   app::HerdApp app;
  *   core::ExperimentConfig cfg;
  *   cfg.system = sys;
  *   cfg.arrivalRps = 10e6;
- *   cfg.arrival = "mmpp2:burst=0.1,ratio=10";  // any arrival spec;
- *                                              // default "poisson"
- *   core::RunStats stats = core::runExperiment(cfg, app);
+ *   cfg.arrival = "mmpp2:burst=0.1,ratio=10";  // default "poisson"
+ *   cfg.workload = "masstree:scan_ratio=0.01"; // default "herd";
+ *                                              // composites work too:
+ *                                              // "mix:masstree-get=
+ *                                              //  0.998,masstree-scan
+ *                                              //  =0.002"
+ *   core::RunStats stats = core::runExperiment(cfg);
+ *   // stats.point        headline (latency-critical) tail metrics
+ *   // stats.perClass     per-request-class throughput/p50/p99/p99.9
+ *   //                    and SLO attainment (scans included)
+ *
+ * The runExperiment(cfg, app) / SweepConfig::appFactory entry points
+ * that take a caller-constructed app::RpcApplication remain as thin
+ * shims over the spec-driven path.
  */
 
 #ifndef RPCVALET_CORE_EXPERIMENT_HH
@@ -30,6 +43,7 @@
 #include <vector>
 
 #include "app/rpc_application.hh"
+#include "app/workload.hh"
 #include "net/arrival.hh"
 #include "node/params.hh"
 #include "stats/series.hh"
@@ -50,12 +64,30 @@ struct ExperimentConfig
      * "ramp:from=0.5,to=1.5,over=1ms", "trace:file=gaps.txt".
      */
     net::ArrivalSpec arrival{};
+    /**
+     * Workload served by the node, looked up in the
+     * app::WorkloadRegistry by spec string — e.g. "herd" (default),
+     * "masstree:scan_ratio=0.01", "synthetic:dist=gev", or the
+     * composite "mix:CLASS=WEIGHT,..." blending any registered
+     * workloads with per-request class tags. Used by the
+     * runExperiment(cfg) entry point; the legacy runExperiment(cfg,
+     * app) shim ignores it and serves the app it was given.
+     */
+    app::WorkloadSpec workload{};
     /** Completions discarded before measurement starts. */
     std::uint64_t warmupRpcs = 20000;
     /** Completions measured after warmup. */
     std::uint64_t measuredRpcs = 200000;
     /** Client-side turnaround before reply replenishes return. */
     sim::Tick clientTurnaround = sim::nanoseconds(100.0);
+    /**
+     * fatal() when any reply fails application-level verification
+     * (previously verifyFailures was silently reported in RunStats, so
+     * a corrupted-reply regression could land unnoticed). On by
+     * default — every test and bench inherits the check; opt out for
+     * experiments that deliberately corrupt replies.
+     */
+    bool failOnVerifyError = true;
 };
 
 /** Mean/p99 pair for one latency component. */
@@ -76,9 +108,41 @@ struct LatencyBreakdown
     ComponentStats service;
 };
 
+/**
+ * Measured statistics of one request class (see app::RequestClass):
+ * the per-class breakdown behind the headline numbers. Non-critical
+ * classes (e.g. Masstree scans) get full tail accounting here even
+ * though they are excluded from `point`.
+ */
+struct ClassStats
+{
+    /** Class name ("get", "scan", "herd", ...). */
+    std::string name;
+    /** Whether the class counts toward the headline tail metric. */
+    bool latencyCritical = true;
+    /** Declared per-class p99 SLO bound, ns (0 = none declared). */
+    double sloNs = 0.0;
+    /** Post-warmup completions of this class. */
+    std::uint64_t completions = 0;
+    /** Per-class completion throughput over the measurement window. */
+    double achievedRps = 0.0;
+    /** Latency statistics over this class's post-warmup samples. */
+    double meanNs = 0.0;
+    double p50Ns = 0.0;
+    double p99Ns = 0.0;
+    double p999Ns = 0.0;
+    /**
+     * Fraction of this class's samples with latency <= sloNs (1.0
+     * when the class declares no SLO or saw no samples).
+     */
+    double sloAttainment = 1.0;
+};
+
 /** Results of one run. */
 struct RunStats
 {
+    /** Name of the workload served (app::RpcApplication::name()). */
+    std::string workload;
     /** Offered/achieved throughput and latency percentiles over
      *  latency-critical RPCs. */
     stats::LoadPoint point;
@@ -109,9 +173,23 @@ struct RunStats
     std::uint64_t preemptionYields = 0;
     /** Latency decomposition along the RPC pipeline. */
     LatencyBreakdown breakdown;
+    /** Per-request-class breakdown, indexed like the workload's
+     *  requestClasses() (scans and other non-critical classes
+     *  included). */
+    std::vector<ClassStats> perClass;
 };
 
-/** Run one fixed-load experiment to completion. */
+/**
+ * Run one fixed-load experiment to completion, instantiating the
+ * workload from cfg.workload through the app::WorkloadRegistry.
+ */
+RunStats runExperiment(const ExperimentConfig &cfg);
+
+/**
+ * Legacy shim: run against a caller-constructed application instead of
+ * cfg.workload (which is ignored). Prefer the spec-driven overload —
+ * with the default specs it is bit-identical to this path.
+ */
 RunStats runExperiment(const ExperimentConfig &cfg,
                        app::RpcApplication &app);
 
@@ -125,7 +203,11 @@ struct SweepConfig
     ExperimentConfig base{};
     /** Offered rates to sweep, requests per second, ascending. */
     std::vector<double> arrivalRates;
-    /** Fresh application per run. */
+    /**
+     * Legacy shim: per-run application factory. When unset (the
+     * default), each point instantiates base.workload through the
+     * app::WorkloadRegistry — the spec-driven path.
+     */
     AppFactory appFactory;
     /** Series label (e.g. "1x16"). */
     std::string label;
@@ -150,6 +232,10 @@ SweepResult runSweep(const SweepConfig &cfg);
  */
 double estimateCapacityRps(const node::SystemParams &system,
                            const app::RpcApplication &app);
+
+/** Spec-driven convenience: estimate capacity for a workload spec. */
+double estimateCapacityRps(const node::SystemParams &system,
+                           const app::WorkloadSpec &workload);
 
 /** Convenience: n evenly spaced utilization points in [lo, hi]. */
 std::vector<double> loadGrid(double lo, double hi, std::size_t n);

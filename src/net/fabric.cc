@@ -15,13 +15,23 @@ void
 Fabric::connect(proto::NodeId node, Sink sink)
 {
     RV_ASSERT(sink != nullptr, "null fabric sink");
-    sinks_[node] = std::move(sink);
+    if (!sinks_.emplace(node, std::move(sink)).second) {
+        sim::fatal(sim::strfmt(
+            "fabric: node %u is already connected (duplicate "
+            "registration would silently drop the first sink's "
+            "traffic)",
+            node));
+    }
 }
 
 void
 Fabric::connectDefault(Sink sink)
 {
     RV_ASSERT(sink != nullptr, "null fabric sink");
+    if (defaultSink_ != nullptr) {
+        sim::fatal("fabric: a default sink is already connected "
+                   "(duplicate registration)");
+    }
     defaultSink_ = std::move(sink);
 }
 

@@ -33,10 +33,18 @@ class Fabric
      */
     Fabric(sim::Simulator &sim, sim::Tick latency);
 
-    /** Attach the receiver for packets addressed to @p node. */
+    /**
+     * Attach the receiver for packets addressed to @p node.
+     * Registering the same node twice is fatal (matching the
+     * registries' duplicate-key behavior): the old behavior of
+     * silently overwriting the first sink dropped its traffic.
+     */
     void connect(proto::NodeId node, Sink sink);
 
-    /** Attach the receiver for all nodes without an explicit sink. */
+    /**
+     * Attach the receiver for all nodes without an explicit sink.
+     * Fatal if a default sink is already attached.
+     */
     void connectDefault(Sink sink);
 
     /** Inject a packet; it arrives at its destination after latency. */

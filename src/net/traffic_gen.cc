@@ -1,7 +1,9 @@
 #include "net/traffic_gen.hh"
 
+#include <algorithm>
 #include <utility>
 
+#include "app/wire_format.hh"
 #include "sim/logging.hh"
 
 namespace rpcvalet::net {
@@ -31,6 +33,8 @@ TrafficGenerator::TrafficGenerator(sim::Simulator &sim,
       freeSlots_(domain.numNodes), pending_(domain.numNodes)
 {
     RV_ASSERT(domain_.numNodes >= 2, "need at least one remote node");
+    madeByClass_.resize(std::max<std::size_t>(
+        app.requestClasses().size(), 1));
     for (proto::NodeId n = 0; n < domain_.numNodes; ++n) {
         if (n == params_.targetNode)
             continue;
@@ -66,6 +70,15 @@ TrafficGenerator::onArrival()
     // Requests larger than maxMsgBytes are legal: they take the
     // rendezvous path (§4.2) in launchRequest.
     std::vector<std::uint8_t> request = app_.makeRequest(clientRng_);
+
+    // Per-class generation counter, read off the wire's class byte
+    // (clamped like the server side clamps stray ids).
+    const std::size_t cls =
+        request.size() > app::requestClassOffset
+            ? std::min<std::size_t>(request[app::requestClassOffset],
+                                    madeByClass_.size() - 1)
+            : 0;
+    ++madeByClass_[cls];
 
     if (freeSlots_[src].empty()) {
         // End-to-end flow control: all S slots toward the target are

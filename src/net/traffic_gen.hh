@@ -63,6 +63,18 @@ class TrafficGenerator
     /** Requests injected into the fabric. */
     std::uint64_t requestsSent() const { return requestsSent_; }
 
+    /**
+     * Requests generated per request class (indexed like the
+     * application's requestClasses(); includes requests still deferred
+     * by flow control). The class id is read off the wire bytes, so
+     * this observes exactly what the server will account.
+     */
+    const std::vector<std::uint64_t> &
+    requestsMadeByClass() const
+    {
+        return madeByClass_;
+    }
+
     /** Replies fully received. */
     std::uint64_t repliesReceived() const { return repliesReceived_; }
 
@@ -113,6 +125,7 @@ class TrafficGenerator
     std::unordered_map<std::uint64_t, ReplyAssembly> replies_;
 
     std::uint64_t requestsSent_ = 0;
+    std::vector<std::uint64_t> madeByClass_;
     std::uint64_t repliesReceived_ = 0;
     std::uint64_t verifyFailures_ = 0;
     std::uint64_t deferrals_ = 0;

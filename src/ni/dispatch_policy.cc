@@ -16,6 +16,28 @@ dispatchModeName(DispatchMode mode)
     sim::panic("unknown DispatchMode");
 }
 
+std::vector<DispatchMode>
+allDispatchModes()
+{
+    return {DispatchMode::SingleQueue, DispatchMode::PerBackendGroup,
+            DispatchMode::StaticHash, DispatchMode::SoftwarePull};
+}
+
+DispatchMode
+dispatchModeFromName(const std::string &name)
+{
+    std::string valid;
+    for (const DispatchMode mode : allDispatchModes()) {
+        if (dispatchModeName(mode) == name)
+            return mode;
+        if (!valid.empty())
+            valid += ", ";
+        valid += dispatchModeName(mode);
+    }
+    sim::fatal("unknown dispatch mode '" + name + "' (one of: " + valid +
+               ")");
+}
+
 std::unique_ptr<DispatchPolicy>
 makePolicy(const PolicySpec &spec)
 {

@@ -57,6 +57,17 @@ enum class DispatchMode
 /** Human-readable mode name ("1x16", "4x4", "16x1", "sw-1x16"). */
 std::string dispatchModeName(DispatchMode mode);
 
+/** All modes, in the figures' order (1x16, 4x4, 16x1, sw-1x16). */
+std::vector<DispatchMode> allDispatchModes();
+
+/**
+ * Parse a mode name as printed by dispatchModeName ("1x16", "4x4",
+ * "16x1", "sw-1x16"); fatal() on anything else, listing the valid
+ * names. The string half of the declarative config quadruple
+ * (--mode, --policy, --arrival, --workload).
+ */
+DispatchMode dispatchModeFromName(const std::string &name);
+
 /**
  * Read-only view of one dispatcher's state, passed to every policy
  * event. References stay valid only for the duration of the call.

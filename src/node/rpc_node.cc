@@ -1,5 +1,6 @@
 #include "node/rpc_node.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -35,9 +36,21 @@ RpcNode::RpcNode(sim::Simulator &sim, const SystemParams &params,
       cores_(params.numCores),
       serverRng_(params.seed, /*stream=*/0xA4B),
       hashSalt_(mix64(params.seed ^ 0x5555AAAAuLL)),
-      criticalLatency_(warmup_samples), allLatency_(warmup_samples)
+      criticalLatency_(warmup_samples), allLatency_(warmup_samples),
+      warmupSamples_(warmup_samples)
 {
     params_.validate();
+
+    // One recorder per declared request class. The per-class recorders
+    // are gated on the node-wide warmup window (below) rather than
+    // carrying their own sample counts: a class's first completions
+    // may all land inside warmup.
+    const auto classes = app_.requestClasses();
+    RV_ASSERT(!classes.empty(),
+              "application declares no request classes");
+    classes_.reserve(classes.size());
+    for (const app::RequestClass &cl : classes)
+        classes_.push_back(ClassAccounting{cl, stats::LatencyRecorder(0), 0});
 
     for (std::uint32_t b = 0; b < params_.numBackends; ++b) {
         ni::NiBackend::Params bp;
@@ -504,6 +517,15 @@ RpcNode::finishRpc(ServiceEvent &ev)
         criticalLatency_.record(latency);
         ++servedCritical_;
     }
+    // Per-class accounting, including non-critical classes. Clamp a
+    // stray id (e.g. a hand-built request against a workload that
+    // never generates that class) into the declared table.
+    const std::size_t cls = std::min<std::size_t>(ev.result.classId,
+                                                  classes_.size() - 1);
+    ClassAccounting &acct = classes_[cls];
+    ++acct.served;
+    if (allLatency_.observed() > warmupSamples_)
+        acct.latency.record(latency);
     ++cores_[core].served;
 
     // Component decomposition (timestamps are monotone along the

@@ -79,11 +79,34 @@ class RpcNode
         stats::LatencyRecorder service;
     };
 
+    /**
+     * Per-request-class accounting: one latency recorder per class the
+     * application declares (app::RequestClass), fed by the class id
+     * each HandleResult echoes. Unlike the headline critical-only
+     * recorder, non-critical classes (e.g. Masstree scans) are
+     * recorded too, so their tails are no longer discarded.
+     */
+    struct ClassAccounting
+    {
+        app::RequestClass info;
+        /** Post-warmup latency samples of this class. */
+        stats::LatencyRecorder latency;
+        /** All completions of this class, including warmup. */
+        std::uint64_t served = 0;
+    };
+
     /** Latency recorder over latency-critical RPCs (tail metric). */
     const stats::LatencyRecorder &criticalLatency() const;
 
     /** Latency recorder over all RPCs. */
     const stats::LatencyRecorder &allLatency() const;
+
+    /** Per-class recorders, indexed like app.requestClasses(). */
+    const std::vector<ClassAccounting> &
+    classAccounting() const
+    {
+        return classes_;
+    }
 
     /** Component-wise latency decomposition. */
     const Breakdown &breakdown() const { return breakdown_; }
@@ -230,6 +253,8 @@ class RpcNode
 
     stats::LatencyRecorder criticalLatency_;
     stats::LatencyRecorder allLatency_;
+    std::vector<ClassAccounting> classes_;
+    std::uint64_t warmupSamples_;
     Breakdown breakdown_;
 
     /** Preempted-RPC continuations, keyed by receive-slot index

@@ -99,8 +99,26 @@ TEST(WireFormat, KeyEncodingIsLittleEndian)
     req.op = RpcOp::Get;
     req.key = 0x0102030405060708ULL;
     const auto bytes = encodeRequest(req);
-    EXPECT_EQ(bytes[1], 0x08);
-    EXPECT_EQ(bytes[8], 0x01);
+    EXPECT_EQ(bytes[2], 0x08);
+    EXPECT_EQ(bytes[9], 0x01);
+}
+
+TEST(WireFormat, ClassIdRoundTripsAtItsFixedOffset)
+{
+    RpcRequest req;
+    req.op = RpcOp::Scan;
+    req.classId = 7;
+    req.key = 99;
+    const auto bytes = encodeRequest(req);
+    EXPECT_EQ(bytes[requestClassOffset], 7);
+    const auto back = decodeRequest(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->classId, 7);
+    // The class byte is patchable in place (composite workloads remap
+    // component-local ids into their global class table).
+    auto patched = bytes;
+    patched[requestClassOffset] = 3;
+    EXPECT_EQ(decodeRequest(patched)->classId, 3);
 }
 
 } // namespace

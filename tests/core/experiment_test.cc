@@ -333,4 +333,232 @@ TEST(Experiment, LoadGridSpansRange)
     EXPECT_DOUBLE_EQ(grid[2], 0.5);
 }
 
+// ---------------------------------------------------------------------
+// Spec-driven workload path (runExperiment(cfg) + per-class stats)
+// ---------------------------------------------------------------------
+
+/** Event-for-event equality of two runs (golden bit-identity lock). */
+void
+expectBitIdentical(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.executedEvents, b.executedEvents);
+    EXPECT_EQ(a.completions, b.completions);
+    EXPECT_DOUBLE_EQ(a.point.p50Ns, b.point.p50Ns);
+    EXPECT_DOUBLE_EQ(a.point.p99Ns, b.point.p99Ns);
+    EXPECT_DOUBLE_EQ(a.point.meanNs, b.point.meanNs);
+    EXPECT_DOUBLE_EQ(a.point.achievedRps, b.point.achievedRps);
+    EXPECT_DOUBLE_EQ(a.meanServiceNs, b.meanServiceNs);
+    EXPECT_DOUBLE_EQ(a.simulatedUs, b.simulatedUs);
+    EXPECT_EQ(a.perCoreServed, b.perCoreServed);
+    EXPECT_EQ(a.replySlotStalls, b.replySlotStalls);
+}
+
+TEST(SpecWorkload, DefaultSpecBitIdenticalToLegacyAppPath)
+{
+    // The acceptance lock for the workload redesign: running through
+    // the registry ("herd" is the default spec) must replay the legacy
+    // RpcApplication& path event for event at a fixed seed.
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 14e6);
+    cfg.measuredRpcs = 10000;
+    app::HerdApp legacy_app;
+    const RunStats legacy = runExperiment(cfg, legacy_app);
+    const RunStats spec = runExperiment(cfg); // cfg.workload == "herd"
+    expectBitIdentical(legacy, spec);
+    EXPECT_EQ(spec.workload, "herd");
+}
+
+TEST(SpecWorkload, MasstreeAndSyntheticSpecsMatchLegacyApps)
+{
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 2e6);
+    cfg.warmupRpcs = 500;
+    cfg.measuredRpcs = 5000;
+    {
+        app::MasstreeApp legacy_app;
+        const RunStats legacy = runExperiment(cfg, legacy_app);
+        cfg.workload = "masstree";
+        expectBitIdentical(legacy, runExperiment(cfg));
+    }
+    {
+        cfg.arrivalRps = 10e6;
+        app::SyntheticApp legacy_app(sim::SyntheticKind::Gev);
+        const RunStats legacy = runExperiment(cfg, legacy_app);
+        cfg.workload = "synthetic:dist=gev";
+        expectBitIdentical(legacy, runExperiment(cfg));
+    }
+}
+
+TEST(SpecWorkload, MixOfOneBitIdenticalToPlainWorkload)
+{
+    // The single-component mix consumes no component-pick randomness
+    // and remaps class ids by zero, so "mix:herd=1" IS "herd".
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 14e6);
+    cfg.measuredRpcs = 10000;
+    cfg.workload = "herd";
+    const RunStats plain = runExperiment(cfg);
+    cfg.workload = "mix:herd=1";
+    const RunStats mix = runExperiment(cfg);
+    expectBitIdentical(plain, mix);
+}
+
+TEST(SpecWorkload, SweepWithoutFactoryMatchesFactorySweep)
+{
+    core::SweepConfig sweep;
+    sweep.base = smallConfig(ni::DispatchMode::SingleQueue, 0.0);
+    sweep.base.warmupRpcs = 500;
+    sweep.base.measuredRpcs = 4000;
+    sweep.arrivalRates = {4e6, 12e6};
+    sweep.label = "spec";
+    const auto spec_result = core::runSweep(sweep); // base.workload
+    sweep.appFactory = [] { return std::make_unique<app::HerdApp>(); };
+    const auto factory_result = core::runSweep(sweep);
+    ASSERT_EQ(spec_result.runs.size(), factory_result.runs.size());
+    for (std::size_t i = 0; i < spec_result.runs.size(); ++i) {
+        expectBitIdentical(spec_result.runs[i], factory_result.runs[i]);
+    }
+}
+
+TEST(SpecWorkload, MixDeterministicForSameSeed)
+{
+    auto run_once = [] {
+        ExperimentConfig cfg =
+            smallConfig(ni::DispatchMode::SingleQueue, 2e6);
+        cfg.warmupRpcs = 500;
+        cfg.measuredRpcs = 6000;
+        cfg.workload = "mix:masstree-get=0.998,masstree-scan=0.002";
+        return runExperiment(cfg);
+    };
+    const RunStats a = run_once();
+    const RunStats b = run_once();
+    expectBitIdentical(a, b);
+    ASSERT_EQ(a.perClass.size(), b.perClass.size());
+    for (std::size_t i = 0; i < a.perClass.size(); ++i) {
+        EXPECT_EQ(a.perClass[i].completions, b.perClass[i].completions);
+        EXPECT_DOUBLE_EQ(a.perClass[i].p99Ns, b.perClass[i].p99Ns);
+    }
+}
+
+TEST(SpecWorkload, MixClassWeightsHonored)
+{
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 8e6);
+    cfg.warmupRpcs = 1000;
+    cfg.measuredRpcs = 20000;
+    cfg.workload = "mix:herd=0.7,synthetic=0.3";
+    const RunStats r = runExperiment(cfg);
+    ASSERT_EQ(r.perClass.size(), 2u);
+    EXPECT_EQ(r.perClass[0].name, "herd");
+    EXPECT_EQ(r.perClass[1].name, "synthetic");
+    const double total = static_cast<double>(
+        r.perClass[0].completions + r.perClass[1].completions);
+    // Binomial(20000, 0.7): 3 sigma ~ 1%; allow 3%.
+    EXPECT_NEAR(static_cast<double>(r.perClass[0].completions) / total,
+                0.7, 0.03);
+    EXPECT_NEAR(static_cast<double>(r.perClass[1].completions) / total,
+                0.3, 0.03);
+}
+
+TEST(SpecWorkload, PerClassTailsSeparateGetsFromScans)
+{
+    // The per-class point of the redesign: scan latency was discarded
+    // before; now the scan class carries its own (much larger) tail
+    // while gets keep a us-scale one.
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 3e6);
+    cfg.warmupRpcs = 500;
+    cfg.measuredRpcs = 12000;
+    cfg.workload = "mix:masstree-get=0.998,masstree-scan=0.002";
+    const RunStats r = runExperiment(cfg);
+    ASSERT_EQ(r.perClass.size(), 2u);
+    const core::ClassStats &gets = r.perClass[0];
+    const core::ClassStats &scans = r.perClass[1];
+    EXPECT_EQ(gets.name, "masstree-get");
+    EXPECT_TRUE(gets.latencyCritical);
+    EXPECT_EQ(scans.name, "masstree-scan");
+    EXPECT_FALSE(scans.latencyCritical);
+    EXPECT_GT(scans.completions, 0u);
+    // Scans run 60-120 us against ~1.25 us gets: an order of
+    // magnitude between the class p99s.
+    EXPECT_GT(scans.p99Ns, 10.0 * gets.p99Ns);
+    EXPECT_GT(scans.p99Ns, 60000.0);
+    // Gets declare the paper's 12.5 us SLO; scans declare none.
+    EXPECT_NEAR(gets.sloNs, 12500.0, 500.0);
+    EXPECT_DOUBLE_EQ(scans.sloNs, 0.0);
+    EXPECT_GT(gets.sloAttainment, 0.95);
+    // Measured (post-warmup) class samples partition the measured
+    // window exactly.
+    EXPECT_EQ(gets.completions + scans.completions, cfg.measuredRpcs);
+    // The headline point covers only the critical class.
+    EXPECT_EQ(gets.completions, r.point.samples);
+}
+
+TEST(SpecWorkload, PerClassStatsPresentForSingleClassWorkloads)
+{
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 10e6);
+    cfg.measuredRpcs = 10000;
+    const RunStats r = runExperiment(cfg);
+    ASSERT_EQ(r.perClass.size(), 1u);
+    EXPECT_EQ(r.perClass[0].name, "herd");
+    EXPECT_EQ(r.perClass[0].completions, cfg.measuredRpcs);
+    EXPECT_DOUBLE_EQ(r.perClass[0].p99Ns, r.point.p99Ns);
+    EXPECT_NEAR(r.perClass[0].achievedRps, r.point.achievedRps,
+                r.point.achievedRps * 1e-9);
+}
+
+TEST(SpecWorkloadDeath, UnknownWorkloadIsFatal)
+{
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 10e6);
+    cfg.workload.name = "nonesuch";
+    EXPECT_EXIT((void)runExperiment(cfg), ::testing::ExitedWithCode(1),
+                "unknown workload 'nonesuch'.*herd");
+}
+
+// ---------------------------------------------------------------------
+// failOnVerifyError
+// ---------------------------------------------------------------------
+
+/** Echo app whose replies never verify: a corrupted-reply stand-in. */
+class CorruptingApp : public app::SyntheticApp
+{
+  public:
+    CorruptingApp() : app::SyntheticApp(sim::SyntheticKind::Fixed) {}
+
+    bool
+    verifyReply(const std::vector<std::uint8_t> &,
+                const std::vector<std::uint8_t> &) const override
+    {
+        return false;
+    }
+
+    std::string name() const override { return "corrupting"; }
+};
+
+TEST(VerifyErrorDeath, FailOnVerifyErrorIsFatalByDefault)
+{
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 5e6);
+    cfg.warmupRpcs = 100;
+    cfg.measuredRpcs = 500;
+    CorruptingApp bad;
+    EXPECT_EXIT((void)runExperiment(cfg, bad),
+                ::testing::ExitedWithCode(1),
+                "failed application-level verification");
+}
+
+TEST(VerifyError, OptOutReportsFailuresInStats)
+{
+    ExperimentConfig cfg =
+        smallConfig(ni::DispatchMode::SingleQueue, 5e6);
+    cfg.warmupRpcs = 100;
+    cfg.measuredRpcs = 500;
+    cfg.failOnVerifyError = false;
+    CorruptingApp bad;
+    const RunStats r = runExperiment(cfg, bad);
+    EXPECT_GT(r.verifyFailures, 0u);
+}
+
 } // namespace

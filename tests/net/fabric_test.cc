@@ -74,6 +74,29 @@ TEST(Fabric, PreservesPerPairOrdering)
         EXPECT_EQ(seen[i], i);
 }
 
+TEST(FabricDeath, DuplicateNodeRegistrationIsFatal)
+{
+    // connect() used to silently overwrite an existing sink, which
+    // dropped the first receiver's traffic; duplicates now die loudly
+    // like the registries' duplicate keys.
+    Simulator sim;
+    Fabric fabric(sim, nanoseconds(10));
+    fabric.connect(4, [](proto::Packet) {});
+    EXPECT_EXIT(fabric.connect(4, [](proto::Packet) {}),
+                ::testing::ExitedWithCode(1),
+                "node 4 is already connected");
+}
+
+TEST(FabricDeath, DuplicateDefaultRegistrationIsFatal)
+{
+    Simulator sim;
+    Fabric fabric(sim, nanoseconds(10));
+    fabric.connectDefault([](proto::Packet) {});
+    EXPECT_EXIT(fabric.connectDefault([](proto::Packet) {}),
+                ::testing::ExitedWithCode(1),
+                "default sink is already connected");
+}
+
 TEST(FabricDeath, UnconnectedDestinationPanics)
 {
     Simulator sim;

@@ -166,21 +166,28 @@ TEST(TrafficGen, DeferredRequestsEventuallyRun)
 
 TEST(TrafficGen, SourcesAreSpreadAcrossCluster)
 {
-    // Generous slot count: flow control never binds even though this
-    // test swallows requests without replying.
-    Harness h(2e6, nanoseconds(100), /*slots=*/4096);
+    // No echo server here: node 0 is a counting sink that swallows
+    // requests (duplicate fabric registration is fatal, so the sink
+    // must be the only node-0 receiver). Generous slot count: flow
+    // control never binds even though nothing replies.
+    Simulator simulator;
+    Fabric fabric(simulator, nanoseconds(50));
+    app::SyntheticApp app{sim::SyntheticKind::Fixed};
+    const proto::MessagingDomain domain = tinyDomain(4, 4096);
     std::map<proto::NodeId, int> per_src;
-    // Wrap the server's fabric sink to count request sources: easier
-    // to recount by inspecting traffic: requests arrive at node 0.
-    // (The harness already connected node 0; reconnect with counting.)
-    h.fabric.connect(0, [&](proto::Packet pkt) {
+    fabric.connect(0, [&](proto::Packet pkt) {
         if (pkt.hdr.blockIndex == 0)
             ++per_src[pkt.hdr.src];
-        // Swallow: this test only checks source spreading.
     });
-    h.tg->start();
-    h.sim.runUntil(sim::microseconds(3000.0));
-    h.tg->halt();
+    TrafficGenerator::Params p;
+    p.arrivalRps = 2e6;
+    p.targetNode = 0;
+    p.clientTurnaround = nanoseconds(50);
+    p.seed = 3;
+    TrafficGenerator tg(simulator, p, domain, app, fabric);
+    tg.start();
+    simulator.runUntil(sim::microseconds(3000.0));
+    tg.halt();
     // 3 remote sources (nodes 1..3) should each contribute ~1/3.
     ASSERT_EQ(per_src.size(), 3u);
     for (const auto &[src, count] : per_src) {
