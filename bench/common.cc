@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "app/workload.hh"
+#include "cluster/router.hh"
 #include "net/arrival.hh"
 #include "sim/logging.hh"
 
@@ -153,7 +154,8 @@ writeJsonReport()
                  "  \"args\": {\"points\": %zu, \"rpcs\": %llu, "
                  "\"warmup\": %llu, \"seed\": %llu, \"fast\": %s, "
                  "\"policy\": \"%s\", \"arrival\": \"%s\", "
-                 "\"workload\": \"%s\", \"mode\": \"%s\"},\n",
+                 "\"workload\": \"%s\", \"mode\": \"%s\", "
+                 "\"nodes\": %u, \"router\": \"%s\"},\n",
                  r.args.points,
                  static_cast<unsigned long long>(r.args.rpcs),
                  static_cast<unsigned long long>(r.args.warmup),
@@ -162,7 +164,8 @@ writeJsonReport()
                  jsonEscape(r.args.policy).c_str(),
                  jsonEscape(r.args.arrival).c_str(),
                  jsonEscape(r.args.workload).c_str(),
-                 jsonEscape(r.args.mode).c_str());
+                 jsonEscape(r.args.mode).c_str(),
+                 r.args.nodes, jsonEscape(r.args.router).c_str());
     std::fputs("  \"series\": [", f);
     for (std::size_t i = 0; i < r.series.size(); ++i) {
         const auto &entry = r.series[i];
@@ -294,7 +297,20 @@ parseArgs(int argc, char **argv)
                            ": expected an integer in [1, 1024]");
             }
             args.threads = static_cast<unsigned>(parsed);
-        } else if (const char *policy = value("--policy="))
+        } else if (const char *nodes = value("--nodes=")) {
+            // Same strictness as --threads: junk or out-of-range node
+            // counts would silently shape every cluster run.
+            char *end = nullptr;
+            const long parsed = std::strtol(nodes, &end, 10);
+            if (end == nodes || *end != '\0' || parsed <= 0 ||
+                parsed > 64) {
+                sim::fatal("--nodes=" + std::string(nodes) +
+                           ": expected an integer in [1, 64]");
+            }
+            args.nodes = static_cast<std::uint32_t>(parsed);
+        } else if (const char *router = value("--router="))
+            args.router = router;
+        else if (const char *policy = value("--policy="))
             args.policy = policy;
         else if (const char *arrival = value("--arrival="))
             args.arrival = arrival;
@@ -389,12 +405,30 @@ applyModeOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
 }
 
 void
+applyClusterOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
+{
+    if (args.nodes > 0)
+        cfg.cluster.numServerNodes = args.nodes;
+    if (args.router.empty())
+        return;
+    cfg.cluster.router = cluster::RouterSpec::parse(args.router);
+    if (!cluster::RouterRegistry::instance().contains(
+            cfg.cluster.router.name)) {
+        sim::fatal("--router=" + args.router +
+                   ": unknown cluster router (registered: " +
+                   cluster::RouterRegistry::instance().namesJoined() +
+                   ")");
+    }
+}
+
+void
 applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg)
 {
     applyModeOverride(args, cfg);
     applyPolicyOverride(args, cfg);
     applyArrivalOverride(args, cfg);
     applyWorkloadOverride(args, cfg);
+    applyClusterOverride(args, cfg);
 }
 
 void

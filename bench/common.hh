@@ -38,9 +38,17 @@
  *                 "sw-1x16"); empty keeps each bench's default.
  *                 Benches whose figure axis is the mode (fig7a/b/c,
  *                 fig8, latency_breakdown, summary_table) ignore it.
- *                 With the spec flags above, a run is fully
- *                 declarative: --mode, --policy, --arrival,
- *                 --workload.
+ *   --nodes=N     server nodes behind the cluster router (fatal unless
+ *                 an integer in [1, 64]); 0/absent keeps each bench's
+ *                 default. cluster_scaling sweeps its own node counts
+ *                 and uses this as the top of its sweep instead.
+ *   --router=SPEC cluster-router spec (registry string such as
+ *                 "random", "rr", "shard", "bounded-load:c=1.25");
+ *                 empty keeps each bench's default. cluster_scaling
+ *                 narrows its router sweep to just this spec. With the
+ *                 spec flags above, a run is fully declarative:
+ *                 --mode, --policy, --arrival, --workload, --nodes,
+ *                 --router.
  *   --json=FILE   write results (series, claims, args, perf) as JSON
  *                 at exit — the machine-readable feed behind CI's
  *                 bench-results artifact and the BENCH_*.json perf
@@ -85,6 +93,10 @@ struct BenchArgs
     std::string workload;
     /** Dispatch-mode override ("1x16", ...); empty = bench default. */
     std::string mode;
+    /** Server-node-count override; 0 = bench default. */
+    std::uint32_t nodes = 0;
+    /** Cluster-router spec override; empty = bench default. */
+    std::string router;
     /** JSON results path; empty = no JSON output. */
     std::string json;
 };
@@ -118,9 +130,17 @@ void applyModeOverride(const BenchArgs &args,
                        core::ExperimentConfig &cfg);
 
 /**
+ * Apply --nodes / --router to @p cfg when set (fatal on a malformed
+ * or unregistered router spec).
+ */
+void applyClusterOverride(const BenchArgs &args,
+                          core::ExperimentConfig &cfg);
+
+/**
  * Apply every declarative override (--mode, --policy, --arrival,
- * --workload). makeSweep calls this on the sweep base; benches that
- * build ExperimentConfigs directly call it themselves.
+ * --workload, --nodes, --router). makeSweep calls this on the sweep
+ * base; benches that build ExperimentConfigs directly call it
+ * themselves.
  */
 void applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg);
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Example: extending the cluster routing layer from *outside*
+ * src/cluster.
+ *
+ * Defines a new request-class-aware router ("scan-shield" — scans and
+ * other non-critical classes are pinned to the last server node,
+ * latency-critical requests round-robin over the rest), registers it
+ * with the cluster::RouterRegistry at static-init time, and drives it
+ * purely by spec string through the public experiment API. No file
+ * under src/ was touched to add the router — the same plug-in seam the
+ * dispatch-policy, arrival-process, and workload registries expose.
+ *
+ *   $ ./example_custom_router_playground
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace rpcvalet;
+
+/**
+ * Scan shield: route by request class. Non-critical classes (Masstree
+ * scans carry classId 1) land on the shield node — the cluster's last
+ * server — so their millisecond-scale service times never queue behind
+ * point queries; class 0 round-robins over the remaining nodes. Falls
+ * back to any up node when the preferred target is down.
+ */
+class ScanShieldRouter : public cluster::Router
+{
+  public:
+    std::uint32_t
+    route(const cluster::RouteContext &ctx) override
+    {
+        const std::uint32_t n = ctx.view.numServers();
+        const std::uint32_t shield = n - 1;
+        std::uint32_t target;
+        if (ctx.classId != 0 || n == 1) {
+            target = shield;
+        } else {
+            target = static_cast<std::uint32_t>(cursor_++ % (n - 1));
+        }
+        // Failover: walk forward to the next up server if needed.
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t s = (target + i) % n;
+            if (ctx.view.isUp(s))
+                return s;
+        }
+        return target;
+    }
+
+    std::string
+    name() const override
+    {
+        return "scan-shield";
+    }
+
+  private:
+    std::uint64_t cursor_ = 0;
+};
+
+// Static-init registration: this is all it takes to make
+// "scan-shield" usable from ExperimentConfig, benches, and --router.
+const cluster::RouterRegistrar scanShieldRegistrar(
+    "scan-shield", [](const cluster::RouterSpec &spec) {
+        spec.expectKeys({});
+        return std::make_unique<ScanShieldRouter>();
+    });
+
+core::RunStats
+runMasstreeCluster(const std::string &router)
+{
+    core::ExperimentConfig cfg;
+    cfg.workload = app::WorkloadSpec("masstree:scan_ratio=0.01");
+    cfg.cluster.numServerNodes = 4;
+    cfg.cluster.router = cluster::RouterSpec::parse(router);
+    // Masstree point queries are ~10x HERD's service time; keep the
+    // load well under the 4-node capacity.
+    cfg.arrivalRps =
+        0.6 * 4 * core::estimateCapacityRps(cfg.system, cfg.workload);
+    cfg.warmupRpcs = 2000;
+    cfg.measuredRpcs = 20000;
+    return core::runExperiment(cfg);
+}
+
+void
+printRun(const core::RunStats &r)
+{
+    std::printf("\n--- router = %s ---\n", r.router.c_str());
+    std::printf("  per-node served:");
+    for (const core::NodeStats &ns : r.perNode)
+        std::printf("  node%u=%llu", ns.nodeId,
+                    static_cast<unsigned long long>(ns.served));
+    std::printf("\n  %-6s %12s %10s %10s\n", "class", "tput(Mrps)",
+                "p50(us)", "p99(us)");
+    for (const core::ClassStats &cs : r.perClass)
+        std::printf("  %-6s %12.3f %10.2f %10.2f\n", cs.name.c_str(),
+                    cs.achievedRps / 1e6, cs.p50Ns / 1e3,
+                    cs.p99Ns / 1e3);
+    std::printf("  critical p99 = %.2f us\n", r.point.p99Ns / 1e3);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rpcvalet;
+
+    std::printf("Cluster routing playground (Masstree, 1%% scans, "
+                "4 nodes, 60%% load)\n");
+
+    std::printf("\n--- registered cluster routers (note 'scan-shield': "
+                "registered by this example) ---\n ");
+    for (const std::string &name :
+         cluster::RouterRegistry::instance().names())
+        std::printf(" %s", name.c_str());
+    std::printf("\n");
+
+    // Baseline: shard routing spreads scans over every node, so each
+    // node's point queries occasionally queue behind a scan.
+    const core::RunStats shard = runMasstreeCluster("shard");
+    printRun(shard);
+
+    // Scan shield: the same load with scans isolated on node 3 — the
+    // get-serving nodes never see a scan, tightening the critical
+    // tail; the scans' own p99 absorbs the shield node's queueing.
+    const core::RunStats shield = runMasstreeCluster("scan-shield");
+    printRun(shield);
+
+    std::printf("\nscan-shield vs shard critical p99: %.2fx\n",
+                shard.point.p99Ns / shield.point.p99Ns);
+    std::printf("\nRouters are spec strings resolved by the "
+                "cluster::RouterRegistry\n(see src/cluster/router.hh); "
+                "class-aware routing uses RouteContext::classId.\n");
+    return 0;
+}

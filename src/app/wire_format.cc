@@ -41,6 +41,14 @@ getU64(const std::vector<std::uint8_t> &in, std::size_t at)
 
 } // namespace
 
+std::uint64_t
+requestKeyOf(const std::vector<std::uint8_t> &request)
+{
+    if (request.size() < requestKeyOffset + 8)
+        return 0;
+    return getU64(request, requestKeyOffset);
+}
+
 std::vector<std::uint8_t>
 encodeRequest(const RpcRequest &req)
 {

@@ -73,6 +73,16 @@ constexpr std::size_t replyHeaderBytes = 1 + 4;
 /** Byte offset of the request-class id within an encoded request. */
 constexpr std::size_t requestClassOffset = 1;
 
+/** Byte offset of the request key within an encoded request. */
+constexpr std::size_t requestKeyOffset = 2;
+
+/**
+ * Read the request key straight off the wire bytes without a full
+ * decode (cluster routers hash it on every request). Returns 0 for
+ * requests too short to carry a key.
+ */
+std::uint64_t requestKeyOf(const std::vector<std::uint8_t> &request);
+
 /** Serialize a request. */
 std::vector<std::uint8_t> encodeRequest(const RpcRequest &req);
 

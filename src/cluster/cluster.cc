@@ -1,0 +1,34 @@
+#include "cluster/cluster.hh"
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::cluster {
+
+void
+ClusterConfig::validate() const
+{
+    if (numServerNodes == 0) {
+        sim::fatal("cluster config: numServerNodes must be >= 1 "
+                   "(got 0)");
+    }
+    if (failThreshold == 0) {
+        sim::fatal("cluster config: failThreshold must be >= 1 "
+                   "(got 0)");
+    }
+    if (failNode >= 0 &&
+        static_cast<std::uint32_t>(failNode) >= numServerNodes) {
+        sim::fatal(sim::strfmt(
+            "cluster config: failNode %d is out of range for %u server "
+            "nodes",
+            failNode, numServerNodes));
+    }
+    if (failNode >= 0 && requestTimeout == 0) {
+        sim::fatal(sim::strfmt(
+            "cluster config: failNode %d requires requestTimeout > 0 — "
+            "without timeouts a dead node is never detected and its "
+            "requests hang forever",
+            failNode));
+    }
+}
+
+} // namespace rpcvalet::cluster

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cluster-level experiment configuration.
+ *
+ * ClusterConfig is the topology axis of an experiment: how many server
+ * nodes sit behind the router, how the keyspace shards over them, which
+ * router balances across them, and the failure/failover knobs (timeout
+ * detection, health threshold, optional recovery, and fault injection
+ * for failover experiments). The default configuration — one server,
+ * "direct" router — reproduces the pre-cluster single-node experiment
+ * bit-identically (see tests/cluster/cluster_experiment_test.cc).
+ */
+
+#ifndef RPCVALET_CLUSTER_CLUSTER_HH
+#define RPCVALET_CLUSTER_CLUSTER_HH
+
+#include <cstdint>
+
+#include "cluster/router.hh"
+#include "sim/types.hh"
+
+namespace rpcvalet::cluster {
+
+/** Topology + routing + failover knobs of one experiment. */
+struct ClusterConfig
+{
+    /** Server nodes behind the router (>= 1). 1 keeps the legacy
+     *  single-node fast path. */
+    std::uint32_t numServerNodes = 1;
+
+    /** Cluster router spec ("direct", "random", "rr", "shard",
+     *  "bounded-load:c=,vnodes=", or an externally registered name). */
+    RouterSpec router{};
+
+    /** Keyspace shards. 0 = one shard per server node. */
+    std::uint32_t shards = 0;
+
+    /** Consecutive request timeouts that mark a server down (>= 1). */
+    std::uint32_t failThreshold = 3;
+
+    /**
+     * Client-side request timeout in ticks. 0 disables timeout
+     * detection (and with it health-based failover) — required for the
+     * bit-identical single-node path, which must not schedule extra
+     * sweep events.
+     */
+    sim::Tick requestTimeout = 0;
+
+    /** Down time after which a failed node re-enters rotation
+     *  (0 = stays down once marked). */
+    sim::Tick recoveryAfter = 0;
+
+    /** Fault injection: server index to force-fail (-1 = none). */
+    std::int32_t failNode = -1;
+
+    /** Simulated time at which @c failNode stops responding. */
+    sim::Tick failAt = 0;
+
+    /** Fatal (with the offending value) on inconsistent settings. */
+    void validate() const;
+};
+
+} // namespace rpcvalet::cluster
+
+#endif // RPCVALET_CLUSTER_CLUSTER_HH

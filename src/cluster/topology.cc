@@ -1,0 +1,120 @@
+#include "cluster/topology.hh"
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::cluster {
+
+std::uint64_t
+mixKey(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+ShardMap::ShardMap(std::uint32_t num_shards, std::uint32_t num_servers)
+    : numShards_(num_shards), numServers_(num_servers)
+{
+    if (num_shards == 0)
+        sim::fatal("shard map: need at least one shard (got 0)");
+    if (num_servers == 0)
+        sim::fatal("shard map: need at least one server (got 0)");
+}
+
+std::uint32_t
+ShardMap::shardOf(std::uint64_t key) const
+{
+    return static_cast<std::uint32_t>(mixKey(key) % numShards_);
+}
+
+std::uint32_t
+ShardMap::ownerOf(std::uint32_t shard) const
+{
+    RV_ASSERT(shard < numShards_, "shard index out of range");
+    return shard % numServers_;
+}
+
+std::uint32_t
+ShardMap::serverForKey(std::uint64_t key) const
+{
+    return ownerOf(shardOf(key));
+}
+
+HealthTracker::HealthTracker(std::uint32_t num_nodes,
+                             std::uint32_t fail_threshold,
+                             sim::Tick recovery_after)
+    : nodes_(num_nodes), failThreshold_(fail_threshold),
+      recoveryAfter_(recovery_after)
+{
+    if (num_nodes == 0)
+        sim::fatal("health tracker: need at least one node (got 0)");
+    if (fail_threshold == 0)
+        sim::fatal("health tracker: fail threshold must be >= 1 (got 0)");
+}
+
+void
+HealthTracker::reportSuccess(std::uint32_t node)
+{
+    RV_ASSERT(node < nodes_.size(), "health report for unknown node");
+    nodes_[node].consecutiveFailures = 0;
+}
+
+bool
+HealthTracker::reportFailure(std::uint32_t node, sim::Tick now)
+{
+    RV_ASSERT(node < nodes_.size(), "health report for unknown node");
+    // Refresh recovery state first so a post-recovery failure streak
+    // starts from a clean slate.
+    (void)isUp(node, now);
+    State &s = nodes_[node];
+    ++s.consecutiveFailures;
+    if (!s.down && s.consecutiveFailures >= failThreshold_) {
+        s.down = true;
+        s.downSince = now;
+        ++downTransitions_;
+        return true;
+    }
+    return false;
+}
+
+void
+HealthTracker::markDown(std::uint32_t node, sim::Tick now)
+{
+    RV_ASSERT(node < nodes_.size(), "health report for unknown node");
+    State &s = nodes_[node];
+    if (!s.down) {
+        s.down = true;
+        s.downSince = now;
+        s.consecutiveFailures = failThreshold_;
+        ++downTransitions_;
+    }
+}
+
+bool
+HealthTracker::isUp(std::uint32_t node, sim::Tick now) const
+{
+    RV_ASSERT(node < nodes_.size(), "health query for unknown node");
+    State &s = nodes_[node];
+    if (s.down && recoveryAfter_ > 0 &&
+        now >= s.downSince + recoveryAfter_) {
+        // Optimistic recovery: put the node back in rotation; if it is
+        // still broken, the next failure streak takes it down again.
+        s.down = false;
+        s.consecutiveFailures = 0;
+    }
+    return !s.down;
+}
+
+std::uint32_t
+HealthTracker::nodesDown(sim::Tick now) const
+{
+    std::uint32_t down = 0;
+    for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+        if (!isUp(n, now))
+            ++down;
+    }
+    return down;
+}
+
+} // namespace rpcvalet::cluster

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cluster topology primitives: keyspace sharding and node health.
+ *
+ * The experiment core grows from "one node + default sink" into a
+ * topology-driven cluster (ROADMAP: the "millions of users" unlock):
+ * N server nodes, each running its own NI dispatch, fronted by a
+ * cluster-level router. This header holds the two router-independent
+ * building blocks:
+ *
+ *  - ShardMap       partitions the workload keyspace into shards and
+ *                   assigns each shard an owning server node, so
+ *                   shard-affinity routing ("shard") and partition
+ *                   tests share one source of truth
+ *  - HealthTracker  marks a node down after K *consecutive* failures
+ *                   (timeouts), with optional time-based recovery —
+ *                   the failover model of the rpc-load-balancer
+ *                   exemplar (SNIPPETS.md Snippet 1)
+ */
+
+#ifndef RPCVALET_CLUSTER_TOPOLOGY_HH
+#define RPCVALET_CLUSTER_TOPOLOGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace rpcvalet::cluster {
+
+/** Full-avalanche key hash (splitmix64 finalizer) shared by the shard
+ *  map and the consistent-hashing router, so "same key, same owner"
+ *  holds across both. */
+std::uint64_t mixKey(std::uint64_t key);
+
+/** Static partition of the workload keyspace over server nodes. */
+class ShardMap
+{
+  public:
+    /**
+     * @param num_shards   Shards the keyspace splits into (>= 1).
+     * @param num_servers  Server nodes owning those shards (>= 1).
+     */
+    ShardMap(std::uint32_t num_shards, std::uint32_t num_servers);
+
+    std::uint32_t numShards() const { return numShards_; }
+    std::uint32_t numServers() const { return numServers_; }
+
+    /** Shard a request key belongs to (hashed, so shards stay balanced
+     *  even for sequential keys). */
+    std::uint32_t shardOf(std::uint64_t key) const;
+
+    /** Server index owning @p shard (round-robin assignment). */
+    std::uint32_t ownerOf(std::uint32_t shard) const;
+
+    /** Convenience: ownerOf(shardOf(key)). */
+    std::uint32_t serverForKey(std::uint64_t key) const;
+
+  private:
+    std::uint32_t numShards_;
+    std::uint32_t numServers_;
+};
+
+/**
+ * Per-node health with consecutive-failure mark-down.
+ *
+ * A node goes down after @p fail_threshold consecutive reported
+ * failures (any success resets the streak) and — when a recovery
+ * interval is configured — comes back up after that much simulated
+ * time, giving it a probation window in which a single further failure
+ * streak marks it down again.
+ */
+class HealthTracker
+{
+  public:
+    /**
+     * @param num_nodes       Tracked server nodes.
+     * @param fail_threshold  Consecutive failures that mark a node
+     *                        down (>= 1).
+     * @param recovery_after  Down time after which a node is optimistically
+     *                        considered up again (0 = stays down).
+     */
+    HealthTracker(std::uint32_t num_nodes, std::uint32_t fail_threshold,
+                  sim::Tick recovery_after);
+
+    /** A request to @p node completed: reset its failure streak. */
+    void reportSuccess(std::uint32_t node);
+
+    /**
+     * A request to @p node failed (timeout). Returns true when this
+     * report transitioned the node from up to down.
+     */
+    bool reportFailure(std::uint32_t node, sim::Tick now);
+
+    /** Administratively take @p node down (e.g. fault injection). */
+    void markDown(std::uint32_t node, sim::Tick now);
+
+    /** Whether @p node is up at @p now (applies optional recovery). */
+    bool isUp(std::uint32_t node, sim::Tick now) const;
+
+    /** Nodes currently down at @p now. */
+    std::uint32_t nodesDown(sim::Tick now) const;
+
+    /** Total up -> down transitions observed. */
+    std::uint64_t downTransitions() const { return downTransitions_; }
+
+  private:
+    struct State
+    {
+        std::uint32_t consecutiveFailures = 0;
+        bool down = false;
+        sim::Tick downSince = 0;
+    };
+
+    /** Recovery is applied lazily on isUp(); mutable keeps the check
+     *  const for read-only callers (routers). */
+    mutable std::vector<State> nodes_;
+    std::uint32_t failThreshold_;
+    sim::Tick recoveryAfter_;
+    std::uint64_t downTransitions_ = 0;
+};
+
+} // namespace rpcvalet::cluster
+
+#endif // RPCVALET_CLUSTER_TOPOLOGY_HH

@@ -1,9 +1,12 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <utility>
 
+#include "cluster/router.hh"
+#include "cluster/topology.hh"
 #include "net/traffic_gen.hh"
 #include "node/rpc_node.hh"
 #include "sim/logging.hh"
@@ -16,6 +19,273 @@ namespace {
 /** Events executed across all runs in this process (bench perf feed). */
 std::atomic<std::uint64_t> g_simulatedEvents{0};
 
+ComponentStats
+component(const stats::LatencyRecorder &r)
+{
+    return ComponentStats{r.meanNs(), r.p99Ns()};
+}
+
+/** Per-class summary from a (possibly merged) recorder. */
+ClassStats
+classStats(const app::RequestClass &info,
+           const stats::LatencyRecorder &rec, double window_s)
+{
+    ClassStats cs;
+    cs.name = info.name;
+    cs.latencyCritical = info.latencyCritical;
+    cs.sloNs = info.sloNs;
+    cs.completions = rec.count();
+    if (window_s > 0.0) {
+        cs.achievedRps =
+            static_cast<double>(cs.completions) / window_s;
+    }
+    cs.meanNs = rec.meanNs();
+    cs.p50Ns = rec.percentileNs(50.0);
+    cs.p99Ns = rec.percentileNs(99.0);
+    cs.p999Ns = rec.percentileNs(99.9);
+    if (cs.sloNs > 0.0 && cs.completions > 0) {
+        std::uint64_t within = 0;
+        for (const sim::Tick t : rec.samples()) {
+            if (sim::toNs(t) <= cs.sloNs)
+                ++within;
+        }
+        cs.sloAttainment = static_cast<double>(within) /
+                           static_cast<double>(cs.completions);
+    }
+    return cs;
+}
+
+void
+checkVerifyFailures(const ExperimentConfig &cfg, const RunStats &out)
+{
+    if (cfg.failOnVerifyError && out.verifyFailures > 0) {
+        sim::fatal(sim::strfmt(
+            "workload '%s': %llu of %llu replies failed application-"
+            "level verification (set ExperimentConfig.failOnVerifyError "
+            "= false to tolerate corrupted replies)",
+            out.workload.c_str(),
+            static_cast<unsigned long long>(out.verifyFailures),
+            static_cast<unsigned long long>(out.completions)));
+    }
+}
+
+/**
+ * The cluster experiment: N server nodes — each a full RpcNode with
+ * its own NI dispatch — behind the traffic generator's cluster router,
+ * every node attached to the fabric by an explicit connect. The
+ * measurement window opens when the cluster as a whole passes the
+ * warmup count and closes at the completion target; per-node recorders
+ * only run inside the window and are merged into cluster totals.
+ */
+RunStats
+runClusterExperiment(const ExperimentConfig &cfg)
+{
+    cfg.cluster.validate();
+    RV_ASSERT(cfg.arrivalRps > 0.0, "arrival rate must be positive");
+    RV_ASSERT(cfg.measuredRpcs > 0, "need at least one measured RPC");
+    const std::uint32_t numServers = cfg.cluster.numServerNodes;
+
+    sim::Simulator sim;
+    net::Fabric fabric(sim, cfg.system.fabricLatency);
+
+    // One application instance per server node (independent stores;
+    // correctness across replicas comes from the workloads' canonical
+    // value verification) plus a client-side instance for request
+    // generation and reply checking.
+    std::vector<app::RpcApplicationPtr> apps;
+    apps.reserve(numServers);
+    std::vector<std::unique_ptr<node::RpcNode>> nodes;
+    nodes.reserve(numServers);
+    for (std::uint32_t i = 0; i < numServers; ++i) {
+        node::SystemParams sys = cfg.system;
+        sys.nodeId = cfg.system.nodeId + i;
+        // Decorrelate per-node randomness (backend hash salts, policy
+        // tie-breaks) without touching node 0's stream.
+        if (i > 0)
+            sys.seed = cfg.system.seed + 0x51D * i;
+        sys.validate();
+        apps.push_back(
+            app::WorkloadRegistry::instance().make(cfg.workload));
+        nodes.push_back(std::make_unique<node::RpcNode>(
+            sim, sys, *apps.back(), fabric, /*warmup_samples=*/0));
+        // Recorders run only inside the measurement window; the
+        // completion hook below opens it cluster-wide.
+        nodes.back()->setRecording(cfg.warmupRpcs == 0);
+    }
+    const app::RpcApplicationPtr clientApp =
+        app::WorkloadRegistry::instance().make(cfg.workload);
+
+    cluster::ShardMap shards(
+        cfg.cluster.shards != 0 ? cfg.cluster.shards : numServers,
+        numServers);
+    cluster::HealthTracker health(numServers, cfg.cluster.failThreshold,
+                                  cfg.cluster.recoveryAfter);
+    const cluster::RouterPtr router =
+        cluster::RouterRegistry::instance().make(cfg.cluster.router);
+
+    net::TrafficGenerator::Params tp;
+    tp.arrivalRps = cfg.arrivalRps;
+    tp.arrival = cfg.arrival;
+    tp.targetNode = cfg.system.nodeId;
+    tp.numServers = numServers;
+    tp.clientTurnaround = cfg.clientTurnaround;
+    tp.requestTimeout = cfg.cluster.requestTimeout;
+    tp.seed = cfg.system.seed;
+    net::TrafficGenerator tg(sim, tp, cfg.system.domain, *clientApp,
+                             fabric, router.get(), &health, &shards);
+
+    // Explicit topology wiring: every emulated client node gets its
+    // own connect; nothing rides a default sink (a packet to a node
+    // outside the topology is now a hard fabric error).
+    for (proto::NodeId n = 0; n < cfg.system.domain.numNodes; ++n) {
+        if (n >= cfg.system.nodeId && n < cfg.system.nodeId + numServers)
+            continue; // the server nodes connected themselves
+        fabric.connect(n, [&tg](proto::Packet pkt) {
+            tg.receivePacket(std::move(pkt));
+        });
+    }
+
+    sim::Tick measure_start = 0;
+    sim::Tick measure_end = 0;
+    std::uint64_t completed = 0;
+    const std::uint64_t target = cfg.warmupRpcs + cfg.measuredRpcs;
+    const auto hook = [&](bool, sim::Tick) {
+        ++completed;
+        if (completed == cfg.warmupRpcs) {
+            measure_start = sim.now();
+            for (auto &n : nodes)
+                n->setRecording(true);
+        }
+        if (completed == target) {
+            measure_end = sim.now();
+            tg.halt();
+            sim.stop();
+        }
+    };
+    for (auto &n : nodes)
+        n->setCompletionHook(hook);
+
+    if (cfg.cluster.failNode >= 0) {
+        node::RpcNode *victim =
+            nodes[static_cast<std::uint32_t>(cfg.cluster.failNode)]
+                .get();
+        sim.schedule(cfg.cluster.failAt,
+                     [victim] { victim->setFailed(true); });
+    }
+
+    for (auto &n : nodes)
+        n->start();
+    tg.start();
+    sim.run();
+
+    const double window_s =
+        measure_end > measure_start
+            ? sim::toSeconds(measure_end - measure_start)
+            : 0.0;
+
+    RunStats out;
+    out.workload = apps[0]->name();
+    out.router = router->name();
+    out.point.offeredRps = cfg.arrivalRps;
+
+    // Merge per-node recorders into cluster-level ones.
+    stats::LatencyRecorder critical(0);
+    stats::LatencyRecorder all(0);
+    node::RpcNode::Breakdown merged_bd;
+    const std::size_t numClasses = apps[0]->requestClasses().size();
+    std::vector<stats::LatencyRecorder> classRec(
+        std::max<std::size_t>(numClasses, 1));
+    std::uint64_t served_weight = 0;
+    double service_weighted = 0.0;
+    for (std::uint32_t i = 0; i < numServers; ++i) {
+        const node::RpcNode &n = *nodes[i];
+        for (const sim::Tick t : n.criticalLatency().samples())
+            critical.record(t);
+        for (const sim::Tick t : n.allLatency().samples())
+            all.record(t);
+        const auto &bd = n.breakdown();
+        for (const sim::Tick t : bd.reassembly.samples())
+            merged_bd.reassembly.record(t);
+        for (const sim::Tick t : bd.dispatch.samples())
+            merged_bd.dispatch.record(t);
+        for (const sim::Tick t : bd.queueWait.samples())
+            merged_bd.queueWait.record(t);
+        for (const sim::Tick t : bd.service.samples())
+            merged_bd.service.record(t);
+        const auto &accts = n.classAccounting();
+        for (std::size_t c = 0; c < accts.size(); ++c) {
+            for (const sim::Tick t : accts[c].latency.samples())
+                classRec[c].record(t);
+        }
+        service_weighted +=
+            n.meanServiceTimeNs() * static_cast<double>(n.served());
+        served_weight += n.served();
+
+        NodeStats ns;
+        ns.nodeId = cfg.system.nodeId + i;
+        ns.failed = n.failed();
+        ns.served = n.served();
+        ns.criticalCompletions = n.servedCritical();
+        ns.samples = n.allLatency().count();
+        if (window_s > 0.0) {
+            ns.achievedRps =
+                static_cast<double>(ns.samples) / window_s;
+        }
+        ns.meanNs = n.allLatency().meanNs();
+        ns.p50Ns = n.allLatency().percentileNs(50.0);
+        ns.p99Ns = n.allLatency().percentileNs(99.0);
+        ns.perCoreServed = n.perCoreServed();
+
+        out.completions += n.served();
+        out.criticalCompletions += n.servedCritical();
+        out.replySlotStalls += n.replySlotStalls();
+        out.rendezvousRequests = tg.rendezvousRequests();
+        out.preemptionYields += n.preemptionYields();
+        out.recvSlotPeak =
+            std::max(out.recvSlotPeak, n.recvSlotPeak());
+        out.perCoreServed.insert(out.perCoreServed.end(),
+                                 ns.perCoreServed.begin(),
+                                 ns.perCoreServed.end());
+        out.perNode.push_back(std::move(ns));
+    }
+
+    out.point.meanNs = critical.meanNs();
+    out.point.p50Ns = critical.percentileNs(50.0);
+    out.point.p90Ns = critical.percentileNs(90.0);
+    out.point.p99Ns = critical.percentileNs(99.0);
+    out.point.samples = critical.count();
+    if (window_s > 0.0) {
+        out.point.achievedRps =
+            static_cast<double>(cfg.measuredRpcs) / window_s;
+    }
+    out.meanServiceNs =
+        served_weight > 0
+            ? service_weighted / static_cast<double>(served_weight)
+            : 0.0;
+    out.flowControlDeferrals = tg.flowControlDeferrals();
+    out.verifyFailures = tg.verificationFailures();
+    out.simulatedUs = sim::toUs(sim.now());
+    out.executedEvents = sim.executedEvents();
+    g_simulatedEvents.fetch_add(sim.executedEvents(),
+                                std::memory_order_relaxed);
+    out.breakdown.reassembly = component(merged_bd.reassembly);
+    out.breakdown.dispatch = component(merged_bd.dispatch);
+    out.breakdown.queueWait = component(merged_bd.queueWait);
+    out.breakdown.service = component(merged_bd.service);
+    const auto &classes = nodes[0]->classAccounting();
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+        out.perClass.push_back(
+            classStats(classes[c].info, classRec[c], window_s));
+    }
+    out.requestTimeouts = tg.requestTimeouts();
+    out.failoverReroutes = tg.failoverReroutes();
+    out.staleReplies = tg.staleReplies();
+    out.nodesDown = health.nodesDown(sim.now());
+
+    checkVerifyFailures(cfg, out);
+    return out;
+}
+
 } // namespace
 
 std::uint64_t
@@ -27,6 +297,8 @@ totalSimulatedEvents()
 RunStats
 runExperiment(const ExperimentConfig &cfg)
 {
+    if (cfg.cluster.numServerNodes > 1)
+        return runClusterExperiment(cfg);
     const app::RpcApplicationPtr app =
         app::WorkloadRegistry::instance().make(cfg.workload);
     return runExperiment(cfg, *app);
@@ -36,6 +308,20 @@ RunStats
 runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
 {
     cfg.system.validate();
+    cfg.cluster.validate();
+    if (cfg.cluster.numServerNodes > 1) {
+        sim::fatal(sim::strfmt(
+            "runExperiment(cfg, app) is a single-node shim and cannot "
+            "instantiate %u server nodes — each node needs its own "
+            "application instance; use the spec-driven "
+            "runExperiment(cfg), which builds one per node from "
+            "cfg.workload",
+            cfg.cluster.numServerNodes));
+    }
+    // Validate the router spec even though a single-node run never
+    // consults it: a typo should die here, not when the config is
+    // later scaled up.
+    (void)cluster::RouterRegistry::instance().make(cfg.cluster.router);
     RV_ASSERT(cfg.arrivalRps > 0.0, "arrival rate must be positive");
     RV_ASSERT(cfg.measuredRpcs > 0, "need at least one measured RPC");
 
@@ -50,8 +336,16 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     tp.clientTurnaround = cfg.clientTurnaround;
     tp.seed = cfg.system.seed;
     net::TrafficGenerator tg(sim, tp, cfg.system.domain, app, fabric);
-    fabric.connectDefault(
-        [&tg](proto::Packet pkt) { tg.receivePacket(std::move(pkt)); });
+    // Explicit topology wiring: one connect per emulated client node
+    // (no default sink — a packet to an unknown node is a hard fabric
+    // error, not silently absorbed).
+    for (proto::NodeId n = 0; n < cfg.system.domain.numNodes; ++n) {
+        if (n == cfg.system.nodeId)
+            continue; // the server node connected itself
+        fabric.connect(n, [&tg](proto::Packet pkt) {
+            tg.receivePacket(std::move(pkt));
+        });
+    }
 
     sim::Tick measure_start = 0;
     sim::Tick measure_end = 0;
@@ -73,6 +367,7 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
 
     RunStats out;
     out.workload = app.name();
+    out.router = cfg.cluster.router.toString();
     out.point.offeredRps = cfg.arrivalRps;
     const auto &rec = node.criticalLatency();
     out.point.meanNs = rec.meanNs();
@@ -80,10 +375,13 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     out.point.p90Ns = rec.percentileNs(90.0);
     out.point.p99Ns = rec.percentileNs(99.0);
     out.point.samples = rec.count();
-    if (measure_end > measure_start) {
+    const double window_s = measure_end > measure_start
+                                ? sim::toSeconds(measure_end -
+                                                 measure_start)
+                                : 0.0;
+    if (window_s > 0.0) {
         out.point.achievedRps =
-            static_cast<double>(cfg.measuredRpcs) /
-            sim::toSeconds(measure_end - measure_start);
+            static_cast<double>(cfg.measuredRpcs) / window_s;
     }
     out.meanServiceNs = node.meanServiceTimeNs();
     out.completions = node.served();
@@ -99,9 +397,6 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     out.recvSlotPeak = node.recvSlotPeak();
     out.rendezvousRequests = tg.rendezvousRequests();
     out.preemptionYields = node.preemptionYields();
-    const auto component = [](const stats::LatencyRecorder &r) {
-        return ComponentStats{r.meanNs(), r.p99Ns()};
-    };
     const auto &bd = node.breakdown();
     out.breakdown.reassembly = component(bd.reassembly);
     out.breakdown.dispatch = component(bd.dispatch);
@@ -110,52 +405,53 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
 
     // Per-class breakdown: full tail accounting for every declared
     // request class, non-critical ones (scans) included.
-    const double window_s = measure_end > measure_start
-                                ? sim::toSeconds(measure_end -
-                                                 measure_start)
-                                : 0.0;
-    for (const auto &acct : node.classAccounting()) {
-        ClassStats cs;
-        cs.name = acct.info.name;
-        cs.latencyCritical = acct.info.latencyCritical;
-        cs.sloNs = acct.info.sloNs;
-        cs.completions = acct.latency.count();
-        if (window_s > 0.0) {
-            cs.achievedRps =
-                static_cast<double>(cs.completions) / window_s;
-        }
-        cs.meanNs = acct.latency.meanNs();
-        cs.p50Ns = acct.latency.percentileNs(50.0);
-        cs.p99Ns = acct.latency.percentileNs(99.0);
-        cs.p999Ns = acct.latency.percentileNs(99.9);
-        if (cs.sloNs > 0.0 && cs.completions > 0) {
-            std::uint64_t within = 0;
-            for (const sim::Tick t : acct.latency.samples()) {
-                if (sim::toNs(t) <= cs.sloNs)
-                    ++within;
-            }
-            cs.sloAttainment = static_cast<double>(within) /
-                               static_cast<double>(cs.completions);
-        }
-        out.perClass.push_back(std::move(cs));
-    }
+    for (const auto &acct : node.classAccounting())
+        out.perClass.push_back(
+            classStats(acct.info, acct.latency, window_s));
 
-    if (cfg.failOnVerifyError && out.verifyFailures > 0) {
-        sim::fatal(sim::strfmt(
-            "workload '%s': %llu of %llu replies failed application-"
-            "level verification (set ExperimentConfig.failOnVerifyError "
-            "= false to tolerate corrupted replies)",
-            out.workload.c_str(),
-            static_cast<unsigned long long>(out.verifyFailures),
-            static_cast<unsigned long long>(out.completions)));
-    }
+    // The single node as a one-entry cluster view.
+    NodeStats ns;
+    ns.nodeId = cfg.system.nodeId;
+    ns.failed = node.failed();
+    ns.served = node.served();
+    ns.criticalCompletions = node.servedCritical();
+    ns.samples = node.allLatency().count();
+    if (window_s > 0.0)
+        ns.achievedRps = static_cast<double>(ns.samples) / window_s;
+    ns.meanNs = node.allLatency().meanNs();
+    ns.p50Ns = node.allLatency().percentileNs(50.0);
+    ns.p99Ns = node.allLatency().percentileNs(99.0);
+    ns.perCoreServed = node.perCoreServed();
+    out.perNode.push_back(std::move(ns));
+    out.requestTimeouts = tg.requestTimeouts();
+    out.failoverReroutes = tg.failoverReroutes();
+    out.staleReplies = tg.staleReplies();
+
+    checkVerifyFailures(cfg, out);
     return out;
 }
 
 SweepResult
 runSweep(const SweepConfig &cfg)
 {
-    RV_ASSERT(!cfg.arrivalRates.empty(), "sweep needs load points");
+    if (cfg.threads < 1 || cfg.threads > 1024) {
+        sim::fatal(sim::strfmt(
+            "sweep config: threads must be in [1, 1024] (got %u)",
+            cfg.threads));
+    }
+    if (cfg.arrivalRates.empty()) {
+        sim::fatal("sweep config: arrivalRates is empty — a sweep "
+                   "needs at least one load point");
+    }
+    for (std::size_t i = 1; i < cfg.arrivalRates.size(); ++i) {
+        if (!(cfg.arrivalRates[i] > cfg.arrivalRates[i - 1])) {
+            sim::fatal(sim::strfmt(
+                "sweep config: arrivalRates must be strictly ascending "
+                "(rate[%zu] = %g does not exceed rate[%zu] = %g)",
+                i, cfg.arrivalRates[i], i - 1,
+                cfg.arrivalRates[i - 1]));
+        }
+    }
     // Spec-driven sweeps resolve base.workload per point; validate the
     // name up front so a typo dies before any point runs (and on the
     // main thread, with the full registry listing).
@@ -181,20 +477,20 @@ runSweep(const SweepConfig &cfg)
             // single point's behaviour when the grid changes.
             point_cfg.system.seed =
                 cfg.base.system.seed + 0x1000 * (i + 1);
-            auto app = cfg.appFactory != nullptr
-                           ? cfg.appFactory()
-                           : app::WorkloadRegistry::instance().make(
-                                 point_cfg.workload);
-            result.runs[i] = runExperiment(point_cfg, *app);
+            if (cfg.appFactory != nullptr) {
+                auto app = cfg.appFactory();
+                result.runs[i] = runExperiment(point_cfg, *app);
+            } else {
+                result.runs[i] = runExperiment(point_cfg);
+            }
         }
     };
 
-    const unsigned nthreads = std::max(1u, cfg.threads);
-    if (nthreads == 1) {
+    if (cfg.threads == 1) {
         worker();
     } else {
         std::vector<std::thread> pool;
-        for (unsigned t = 0; t < nthreads; ++t)
+        for (unsigned t = 0; t < cfg.threads; ++t)
             pool.emplace_back(worker);
         for (auto &t : pool)
             t.join();

@@ -44,6 +44,7 @@
 
 #include "app/rpc_application.hh"
 #include "app/workload.hh"
+#include "cluster/cluster.hh"
 #include "net/arrival.hh"
 #include "node/params.hh"
 #include "stats/series.hh"
@@ -74,6 +75,19 @@ struct ExperimentConfig
      * app) shim ignores it and serves the app it was given.
      */
     app::WorkloadSpec workload{};
+    /**
+     * Cluster topology: how many server nodes run behind the cluster
+     * router, how the keyspace shards over them, and the failover
+     * knobs (see cluster/cluster.hh). The default — one server node,
+     * "direct" router — is the single-node configuration and is
+     * bit-identical to the pre-cluster experiment core. With
+     * numServerNodes > 1, runExperiment(cfg) instantiates one
+     * application + RpcNode per server (each with its own NI dispatch)
+     * and the traffic generator addresses each request through the
+     * router — two-level load balancing: router picks the node, the
+     * node's NI picks the core.
+     */
+    cluster::ClusterConfig cluster{};
     /** Completions discarded before measurement starts. */
     std::uint64_t warmupRpcs = 20000;
     /** Completions measured after warmup. */
@@ -138,11 +152,37 @@ struct ClassStats
     double sloAttainment = 1.0;
 };
 
+/** Per-server-node statistics of a cluster run (imbalance and
+ *  failover diagnostics; cluster totals live in RunStats itself). */
+struct NodeStats
+{
+    /** Fabric node id of this server. */
+    proto::NodeId nodeId = 0;
+    /** Whether the node ended the run failed (fault injection). */
+    bool failed = false;
+    /** All completions on this node, warmup included. */
+    std::uint64_t served = 0;
+    /** Latency-critical completions on this node. */
+    std::uint64_t criticalCompletions = 0;
+    /** Post-warmup completion rate of this node. */
+    double achievedRps = 0.0;
+    /** Latency over this node's post-warmup RPCs (all classes). */
+    double meanNs = 0.0;
+    double p50Ns = 0.0;
+    double p99Ns = 0.0;
+    /** Post-warmup latency samples behind those percentiles. */
+    std::uint64_t samples = 0;
+    /** Per-core served counts on this node. */
+    std::vector<std::uint64_t> perCoreServed;
+};
+
 /** Results of one run. */
 struct RunStats
 {
     /** Name of the workload served (app::RpcApplication::name()). */
     std::string workload;
+    /** Canonical cluster router spec of the run (e.g. "direct"). */
+    std::string router;
     /** Offered/achieved throughput and latency percentiles over
      *  latency-critical RPCs. */
     stats::LoadPoint point;
@@ -177,18 +217,35 @@ struct RunStats
      *  requestClasses() (scans and other non-critical classes
      *  included). */
     std::vector<ClassStats> perClass;
+    /** Per-server-node breakdown (one entry per cluster node; a
+     *  single-node run has exactly one). */
+    std::vector<NodeStats> perNode;
+    /** Requests that exceeded the cluster request timeout. */
+    std::uint64_t requestTimeouts = 0;
+    /** Requests re-dispatched after a timeout or node mark-down. */
+    std::uint64_t failoverReroutes = 0;
+    /** Replies that arrived after their request had timed out. */
+    std::uint64_t staleReplies = 0;
+    /** Server nodes the health tracker held down at run end. */
+    std::uint32_t nodesDown = 0;
 };
 
 /**
  * Run one fixed-load experiment to completion, instantiating the
- * workload from cfg.workload through the app::WorkloadRegistry.
+ * workload from cfg.workload through the app::WorkloadRegistry. With
+ * cfg.cluster.numServerNodes > 1 this builds the full cluster (one
+ * application + RpcNode per server, router in front) and aggregates
+ * per-node statistics into cluster totals.
  */
 RunStats runExperiment(const ExperimentConfig &cfg);
 
 /**
  * Legacy shim: run against a caller-constructed application instead of
  * cfg.workload (which is ignored). Prefer the spec-driven overload —
- * with the default specs it is bit-identical to this path.
+ * with the default specs it is bit-identical to this path. Single-node
+ * only: a config asking for numServerNodes > 1 is fatal, because N
+ * nodes need N application instances, which only the spec-driven path
+ * can build.
  */
 RunStats runExperiment(const ExperimentConfig &cfg,
                        app::RpcApplication &app);
@@ -201,7 +258,8 @@ struct SweepConfig
 {
     /** Template for each run (arrivalRps is overridden per point). */
     ExperimentConfig base{};
-    /** Offered rates to sweep, requests per second, ascending. */
+    /** Offered rates to sweep, requests per second. Must be non-empty
+     *  and strictly ascending (validated fatally by runSweep). */
     std::vector<double> arrivalRates;
     /**
      * Legacy shim: per-run application factory. When unset (the
@@ -211,7 +269,8 @@ struct SweepConfig
     AppFactory appFactory;
     /** Series label (e.g. "1x16"). */
     std::string label;
-    /** Worker threads for independent points (1 = sequential). */
+    /** Worker threads for independent points (1 = sequential).
+     *  Must be in [1, 1024] (validated fatally by runSweep). */
     unsigned threads = 1;
 };
 

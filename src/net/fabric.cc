@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "proto/packet.hh"
 #include "sim/logging.hh"
 
 namespace rpcvalet::net {
@@ -64,8 +65,13 @@ Fabric::deliver(proto::Packet pkt)
         it->second(std::move(pkt));
         return;
     }
-    RV_ASSERT(defaultSink_ != nullptr,
-              "packet addressed to unconnected node");
+    if (defaultSink_ == nullptr) {
+        sim::fatal(sim::strfmt(
+            "fabric: %s packet from node %u addressed to unconnected "
+            "node %u (no sink registered for it and no default sink)",
+            proto::opName(pkt.hdr.op).c_str(), pkt.hdr.src,
+            pkt.hdr.dst));
+    }
     defaultSink_(std::move(pkt));
 }
 

@@ -8,40 +8,49 @@
 
 namespace rpcvalet::net {
 
-namespace {
-
-std::uint64_t
-slotKey(proto::NodeId node, std::uint32_t slot)
-{
-    return (static_cast<std::uint64_t>(node) << 32) | slot;
-}
-
-} // namespace
-
 TrafficGenerator::TrafficGenerator(sim::Simulator &sim,
                                    const Params &params,
                                    const proto::MessagingDomain &domain,
-                                   app::RpcApplication &app, Fabric &fabric)
+                                   app::RpcApplication &app, Fabric &fabric,
+                                   cluster::Router *router,
+                                   cluster::HealthTracker *health,
+                                   const cluster::ShardMap *shards)
     : sim_(sim), params_(params), domain_(domain), app_(app),
-      fabric_(fabric),
+      fabric_(fabric), router_(router), health_(health), shards_(shards),
       arrivals_(sim,
                 ArrivalRegistry::instance().make(params.arrival,
                                                  params.arrivalRps),
                 params.seed, [this] { onArrival(); }),
       pickRng_(params.seed, /*stream=*/0x7156),
       clientRng_(params.seed, /*stream=*/0xC11E),
-      freeSlots_(domain.numNodes), pending_(domain.numNodes)
+      routerRng_(params.seed, /*stream=*/0x7073),
+      freeSlots_(static_cast<std::size_t>(domain.numNodes) *
+                 params.numServers),
+      pending_(static_cast<std::size_t>(domain.numNodes) *
+               params.numServers),
+      perServerInFlight_(params.numServers),
+      sweepEvent_(*this, "timeout-sweep")
 {
-    RV_ASSERT(domain_.numNodes >= 2, "need at least one remote node");
+    RV_ASSERT(params_.numServers >= 1, "need at least one server node");
+    RV_ASSERT(params_.targetNode + params_.numServers <= domain_.numNodes,
+              "server node range exceeds the messaging domain");
+    RV_ASSERT(domain_.numNodes > params_.numServers,
+              "need at least one remote client node");
+    RV_ASSERT(router_ == nullptr || shards_ != nullptr,
+              "a cluster router needs a shard map");
     madeByClass_.resize(std::max<std::size_t>(
         app.requestClasses().size(), 1));
     for (proto::NodeId n = 0; n < domain_.numNodes; ++n) {
-        if (n == params_.targetNode)
+        if (n >= params_.targetNode &&
+            n < params_.targetNode + params_.numServers)
             continue;
-        freeSlots_[n].reserve(domain_.slotsPerNode);
-        // Highest slot last so slot 0 is handed out first.
-        for (std::uint32_t s = domain_.slotsPerNode; s > 0; --s)
-            freeSlots_[n].push_back(s - 1);
+        for (std::uint32_t srv = 0; srv < params_.numServers; ++srv) {
+            auto &slots = freeSlots_[pairIndex(n, srv)];
+            slots.reserve(domain_.slotsPerNode);
+            // Highest slot last so slot 0 is handed out first.
+            for (std::uint32_t s = domain_.slotsPerNode; s > 0; --s)
+                slots.push_back(s - 1);
+        }
     }
 }
 
@@ -49,23 +58,34 @@ void
 TrafficGenerator::start()
 {
     arrivals_.start();
+    if (params_.requestTimeout > 0)
+        sim_.schedule(sweepEvent_, params_.requestTimeout);
 }
 
 void
 TrafficGenerator::halt()
 {
+    halted_ = true;
     arrivals_.halt();
+}
+
+bool
+TrafficGenerator::isUp(std::uint32_t server) const
+{
+    return health_ == nullptr || health_->isUp(server, sim_.now());
 }
 
 void
 TrafficGenerator::onArrival()
 {
     // Pick a uniformly random remote source node (§5: "from randomly
-    // selected nodes of the cluster").
+    // selected nodes of the cluster"), skipping the server block.
+    const std::uint32_t numClients =
+        domain_.numNodes - params_.numServers;
     proto::NodeId src = static_cast<proto::NodeId>(
-        pickRng_.uniformInt(0, domain_.numNodes - 2));
+        pickRng_.uniformInt(0, numClients - 1));
     if (src >= params_.targetNode)
-        ++src;
+        src += params_.numServers;
 
     // Requests larger than maxMsgBytes are legal: they take the
     // rendezvous path (§4.2) in launchRequest.
@@ -80,24 +100,57 @@ TrafficGenerator::onArrival()
             : 0;
     ++madeByClass_[cls];
 
-    if (freeSlots_[src].empty()) {
-        // End-to-end flow control: all S slots toward the target are
-        // in flight; the request waits for a replenish (§4.2).
-        ++deferrals_;
-        pending_[src].push_back(std::move(request));
-        return;
-    }
-    const std::uint32_t slot = freeSlots_[src].back();
-    freeSlots_[src].pop_back();
-    launchRequest(src, slot, std::move(request));
+    dispatchRequest(src, std::move(request));
+}
+
+std::uint32_t
+TrafficGenerator::routeRequest(proto::NodeId src,
+                               const std::vector<std::uint8_t> &request)
+{
+    // Single-target fast path: no router consulted, no Rng draw —
+    // keeps the numServers == 1 experiment bit-identical.
+    if (router_ == nullptr || params_.numServers == 1)
+        return 0;
+    cluster::RouteContext ctx{
+        app::requestKeyOf(request),
+        request.size() > app::requestClassOffset
+            ? request[app::requestClassOffset]
+            : std::uint8_t{0},
+        src, *this, *shards_, routerRng_};
+    const std::uint32_t server = router_->route(ctx);
+    RV_ASSERT(server < params_.numServers,
+              "router picked an out-of-range server");
+    return server;
 }
 
 void
-TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t slot,
+TrafficGenerator::dispatchRequest(proto::NodeId src,
+                                  std::vector<std::uint8_t> request)
+{
+    const std::uint32_t server = routeRequest(src, request);
+    const std::size_t pair = pairIndex(src, server);
+    if (freeSlots_[pair].empty()) {
+        // End-to-end flow control: all S slots toward that server are
+        // in flight; the request waits for a replenish (§4.2).
+        ++deferrals_;
+        pending_[pair].push_back(std::move(request));
+        return;
+    }
+    const std::uint32_t slot = freeSlots_[pair].back();
+    freeSlots_[pair].pop_back();
+    launchRequest(src, server, slot, std::move(request));
+}
+
+void
+TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t server,
+                                std::uint32_t slot,
                                 std::vector<std::uint8_t> request)
 {
     ++requestsSent_;
     ++inFlight_;
+    ++perServerInFlight_[server];
+    const proto::NodeId dst = params_.targetNode + server;
+    const std::uint64_t key = reqKey(server, src, slot);
     if (request.size() > domain_.maxMsgBytes) {
         // Rendezvous (§4.2): announce the payload with a one-block
         // descriptor; the destination NI pulls it with a one-sided
@@ -107,20 +160,22 @@ TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t slot,
         proto::Packet descriptor;
         descriptor.hdr.op = proto::OpType::Send;
         descriptor.hdr.src = src;
-        descriptor.hdr.dst = params_.targetNode;
+        descriptor.hdr.dst = dst;
         descriptor.hdr.slot = slot;
         descriptor.hdr.totalBlocks = 1;
         descriptor.hdr.msgBytes = 0;
         descriptor.hdr.rendezvous = true;
         descriptor.hdr.rendezvousBytes =
             static_cast<std::uint32_t>(request.size());
-        outstandingRequests_[slotKey(src, slot)] = std::move(request);
+        outstandingRequests_[key] =
+            Outstanding{std::move(request), server, sim_.now()};
         fabric_.send(std::move(descriptor));
         return;
     }
-    auto packets = proto::packetize(proto::OpType::Send, src,
-                                    params_.targetNode, slot, request);
-    outstandingRequests_[slotKey(src, slot)] = std::move(request);
+    auto packets =
+        proto::packetize(proto::OpType::Send, src, dst, slot, request);
+    outstandingRequests_[key] =
+        Outstanding{std::move(request), server, sim_.now()};
     for (auto &pkt : packets)
         fabric_.send(std::move(pkt));
 }
@@ -130,10 +185,17 @@ TrafficGenerator::receivePacket(proto::Packet pkt)
 {
     switch (pkt.hdr.op) {
       case proto::OpType::Send: {
-        // A reply from the node under test. Replies mirror the request
-        // slot (HERD-style per-slot response matching), so (dst, slot)
-        // identifies the original request.
-        const std::uint64_t key = slotKey(pkt.hdr.dst, pkt.hdr.slot);
+        // A reply from a server node. Replies mirror the request slot
+        // (HERD-style per-slot response matching), so the reply's
+        // (src server, dst client, slot) identifies the original
+        // request.
+        RV_ASSERT(pkt.hdr.src >= params_.targetNode &&
+                      pkt.hdr.src <
+                          params_.targetNode + params_.numServers,
+                  "reply from a non-server node");
+        const std::uint32_t server = pkt.hdr.src - params_.targetNode;
+        const std::uint64_t key =
+            reqKey(server, pkt.hdr.dst, pkt.hdr.slot);
         ReplyAssembly &assembly = replies_[key];
         if (assembly.total == 0) {
             assembly.total = pkt.hdr.totalBlocks;
@@ -149,7 +211,8 @@ TrafficGenerator::receivePacket(proto::Packet pkt)
         if (++assembly.arrived == assembly.total) {
             std::vector<std::uint8_t> reply = std::move(assembly.bytes);
             replies_.erase(key);
-            onReplyComplete(pkt.hdr.dst, pkt.hdr.slot, std::move(reply));
+            onReplyComplete(server, pkt.hdr.dst, pkt.hdr.slot,
+                            std::move(reply));
         }
         break;
       }
@@ -159,18 +222,31 @@ TrafficGenerator::receivePacket(proto::Packet pkt)
       case proto::OpType::RemoteRead: {
         // Rendezvous pull: serve the announced payload from this
         // node's memory after a DRAM access.
-        const std::uint64_t key = slotKey(pkt.hdr.dst, pkt.hdr.slot);
+        RV_ASSERT(pkt.hdr.src >= params_.targetNode &&
+                      pkt.hdr.src <
+                          params_.targetNode + params_.numServers,
+                  "one-sided read from a non-server node");
+        const std::uint32_t server = pkt.hdr.src - params_.targetNode;
+        const std::uint64_t key =
+            reqKey(server, pkt.hdr.dst, pkt.hdr.slot);
         auto it = outstandingRequests_.find(key);
-        RV_ASSERT(it != outstandingRequests_.end(),
-                  "one-sided read for unknown payload");
+        if (it == outstandingRequests_.end()) {
+            RV_ASSERT(params_.requestTimeout > 0,
+                      "one-sided read for unknown payload");
+            // The request timed out and was rerouted; the late pull
+            // reads nothing.
+            ++staleReplies_;
+            break;
+        }
         const proto::NodeId owner = pkt.hdr.dst;
+        const proto::NodeId reader = pkt.hdr.src;
         const std::uint32_t slot = pkt.hdr.slot;
-        const std::vector<std::uint8_t> payload = it->second;
+        const std::vector<std::uint8_t> payload = it->second.bytes;
         sim_.schedule(sim::nanoseconds(60.0),
-                      [this, owner, slot, payload] {
+                      [this, owner, reader, slot, payload] {
                           auto blocks = proto::packetize(
                               proto::OpType::ReadResponse, owner,
-                              params_.targetNode, slot, payload);
+                              reader, slot, payload);
                           for (auto &b : blocks)
                               fabric_.send(std::move(b));
                       });
@@ -182,49 +258,139 @@ TrafficGenerator::receivePacket(proto::Packet pkt)
 }
 
 void
-TrafficGenerator::onReplyComplete(proto::NodeId dst, std::uint32_t slot,
+TrafficGenerator::onReplyComplete(std::uint32_t server,
+                                  proto::NodeId dst, std::uint32_t slot,
                                   std::vector<std::uint8_t> reply)
 {
-    const std::uint64_t key = slotKey(dst, slot);
+    const std::uint64_t key = reqKey(server, dst, slot);
     auto it = outstandingRequests_.find(key);
-    RV_ASSERT(it != outstandingRequests_.end(),
-              "reply for unknown request");
-    if (!app_.verifyReply(it->second, reply))
+    if (it == outstandingRequests_.end()) {
+        RV_ASSERT(params_.requestTimeout > 0,
+                  "reply for unknown request");
+        // The request already timed out and was rerouted elsewhere;
+        // drop the late reply (its slot credit returns separately via
+        // the server's replenish).
+        ++staleReplies_;
+        return;
+    }
+    if (!app_.verifyReply(it->second.bytes, reply))
         ++verifyFailures_;
     outstandingRequests_.erase(it);
     ++repliesReceived_;
     RV_ASSERT(inFlight_ > 0, "in-flight underflow");
     --inFlight_;
+    RV_ASSERT(perServerInFlight_[server] > 0,
+              "per-server in-flight underflow");
+    --perServerInFlight_[server];
+    if (health_ != nullptr)
+        health_->reportSuccess(server);
 
-    // Return the reply's send-slot credit to the node under test after
+    // Return the reply's send-slot credit to the serving node after
     // the client-side turnaround.
-    sim_.schedule(params_.clientTurnaround, [this, dst, slot] {
-        proto::Packet pkt;
-        pkt.hdr.op = proto::OpType::Replenish;
-        pkt.hdr.src = dst;
-        pkt.hdr.dst = params_.targetNode;
-        pkt.hdr.slot = slot;
-        pkt.hdr.totalBlocks = 1;
-        pkt.hdr.msgBytes = 0;
-        fabric_.send(std::move(pkt));
-    });
+    const proto::NodeId replyDst = params_.targetNode + server;
+    sim_.schedule(params_.clientTurnaround,
+                  [this, dst, replyDst, slot] {
+                      proto::Packet pkt;
+                      pkt.hdr.op = proto::OpType::Replenish;
+                      pkt.hdr.src = dst;
+                      pkt.hdr.dst = replyDst;
+                      pkt.hdr.slot = slot;
+                      pkt.hdr.totalBlocks = 1;
+                      pkt.hdr.msgBytes = 0;
+                      fabric_.send(std::move(pkt));
+                  });
 }
 
 void
 TrafficGenerator::onReplenish(const proto::Packet &pkt)
 {
-    // The node under test finished processing a request: the source's
-    // send slot is free again (§4.2 step C).
+    // A server finished processing a request: the source's send slot
+    // toward that server is free again (§4.2 step C).
+    RV_ASSERT(pkt.hdr.src >= params_.targetNode &&
+                  pkt.hdr.src < params_.targetNode + params_.numServers,
+              "replenish from a non-server node");
+    const std::uint32_t server = pkt.hdr.src - params_.targetNode;
     const proto::NodeId src = pkt.hdr.dst;
     const std::uint32_t slot = pkt.hdr.slot;
     RV_ASSERT(src < domain_.numNodes, "replenish for unknown node");
-    if (!pending_[src].empty()) {
+    const std::size_t pair = pairIndex(src, server);
+    if (!pending_[pair].empty()) {
         std::vector<std::uint8_t> request =
-            std::move(pending_[src].front());
-        pending_[src].pop_front();
-        launchRequest(src, slot, std::move(request));
+            std::move(pending_[pair].front());
+        pending_[pair].pop_front();
+        launchRequest(src, server, slot, std::move(request));
     } else {
-        freeSlots_[src].push_back(slot);
+        freeSlots_[pair].push_back(slot);
+    }
+}
+
+void
+TrafficGenerator::sweepTimeouts()
+{
+    if (halted_)
+        return;
+
+    // Collect first, then act: rerouting schedules new outstanding
+    // entries, which must not be visited by this sweep.
+    std::vector<std::uint64_t> expired;
+    for (const auto &[key, rec] : outstandingRequests_) {
+        if (sim_.now() - rec.sentAt >= params_.requestTimeout)
+            expired.push_back(key);
+    }
+    // Deterministic order: the hash map iterates in an
+    // implementation-defined order, the sweep must not.
+    std::sort(expired.begin(), expired.end());
+
+    for (const std::uint64_t key : expired) {
+        auto it = outstandingRequests_.find(key);
+        RV_ASSERT(it != outstandingRequests_.end(),
+                  "expired request vanished mid-sweep");
+        const std::uint32_t server = it->second.server;
+        const proto::NodeId client = static_cast<proto::NodeId>(
+            (key / domain_.slotsPerNode) % domain_.numNodes);
+        std::vector<std::uint8_t> request = std::move(it->second.bytes);
+        outstandingRequests_.erase(it);
+        // A partially assembled reply for the dead request must not
+        // pollute the slot's next use.
+        replies_.erase(key);
+        ++timeouts_;
+        RV_ASSERT(inFlight_ > 0, "in-flight underflow");
+        --inFlight_;
+        RV_ASSERT(perServerInFlight_[server] > 0,
+                  "per-server in-flight underflow");
+        --perServerInFlight_[server];
+        // The slot is deliberately NOT reclaimed: a slow-but-alive
+        // server still returns it via replenish; a dead server's
+        // slots stay consumed until it recovers.
+        if (health_ != nullptr &&
+            health_->reportFailure(server, sim_.now())) {
+            // Transition to down: everything queued toward this
+            // server would wait forever — reroute it now.
+            drainPending(server);
+        }
+        ++reroutes_;
+        dispatchRequest(client, std::move(request));
+    }
+
+    sim_.schedule(sweepEvent_,
+                  std::max<sim::Tick>(1, params_.requestTimeout / 2));
+}
+
+void
+TrafficGenerator::drainPending(std::uint32_t server)
+{
+    std::vector<std::pair<proto::NodeId, std::vector<std::uint8_t>>>
+        queued;
+    for (proto::NodeId n = 0; n < domain_.numNodes; ++n) {
+        auto &q = pending_[pairIndex(n, server)];
+        while (!q.empty()) {
+            queued.emplace_back(n, std::move(q.front()));
+            q.pop_front();
+        }
+    }
+    for (auto &[client, request] : queued) {
+        ++reroutes_;
+        dispatchRequest(client, std::move(request));
     }
 }
 

@@ -2,15 +2,26 @@
  * @file
  * Cluster traffic generator (§5 "System organization").
  *
- * The modeled chip is one node of a 200-node cluster; the other 199
+ * The modeled servers are nodes of a 200-node cluster; the remaining
  * nodes are emulated by this generator. It creates synthetic send
  * requests at an aggregate rate shaped by a pluggable arrival process
  * (default: the paper's Poisson; see net/arrival.hh) from uniformly
- * random source nodes, obeys per-source send-slot flow control (a
- * source with all S slots in flight defers until a replenish returns),
- * consumes the modeled node's replies, verifies them against the
- * application, and returns reply replenishes after a client-side
- * turnaround delay.
+ * random source nodes, obeys per-(source, server) send-slot flow
+ * control (a source with all S slots toward a server in flight defers
+ * until a replenish returns), consumes the servers' replies, verifies
+ * them against the application, and returns reply replenishes after a
+ * client-side turnaround delay.
+ *
+ * With more than one server node the generator is also the cluster's
+ * client-side balancer: each request is addressed by a cluster Router
+ * (src/cluster/router.hh) that observes per-server health and
+ * outstanding load through the ClusterView interface this class
+ * implements. An optional request timeout sweeps outstanding requests,
+ * feeds consecutive timeouts into the HealthTracker, and reroutes
+ * timed-out (and queued) requests to surviving servers — the failover
+ * path. With numServers == 1 and no router the generator behaves
+ * bit-identically to the original single-node version: no extra Rng
+ * draws, no extra events.
  */
 
 #ifndef RPCVALET_NET_TRAFFIC_GEN_HH
@@ -22,6 +33,8 @@
 #include <vector>
 
 #include "app/rpc_application.hh"
+#include "cluster/router.hh"
+#include "cluster/topology.hh"
 #include "net/arrival.hh"
 #include "net/fabric.hh"
 #include "proto/messaging.hh"
@@ -29,8 +42,8 @@
 
 namespace rpcvalet::net {
 
-/** Emulates the remote 199 nodes of the messaging domain. */
-class TrafficGenerator
+/** Emulates the remote client nodes of the messaging domain. */
+class TrafficGenerator : private cluster::ClusterView
 {
   public:
     struct Params
@@ -39,17 +52,34 @@ class TrafficGenerator
         double arrivalRps = 1e6;
         /** Interarrival process shaping that rate (net/arrival.hh). */
         ArrivalSpec arrival{};
-        /** The node under test (requests' destination). */
+        /** First server node (requests' destination base). Servers
+         *  occupy node ids [targetNode, targetNode + numServers). */
         proto::NodeId targetNode = 0;
+        /** Server nodes behind the router (>= 1). */
+        std::uint32_t numServers = 1;
         /** Client-side turnaround before replenishing a reply slot. */
         sim::Tick clientTurnaround = sim::nanoseconds(100.0);
+        /** Request timeout for failure detection; 0 disables the
+         *  timeout sweep entirely (single-node bit-identical path). */
+        sim::Tick requestTimeout = 0;
         /** Experiment seed. */
         std::uint64_t seed = 1;
     };
 
+    /**
+     * @param router  Cluster router addressing each request, or null
+     *                for the single-target fast path. With a router,
+     *                @p shards must be non-null.
+     * @param health  Per-server health tracker fed by timeouts, or
+     *                null (every server always considered up).
+     * @param shards  Keyspace partition for shard-affinity routing.
+     */
     TrafficGenerator(sim::Simulator &sim, const Params &params,
                      const proto::MessagingDomain &domain,
-                     app::RpcApplication &app, Fabric &fabric);
+                     app::RpcApplication &app, Fabric &fabric,
+                     cluster::Router *router = nullptr,
+                     cluster::HealthTracker *health = nullptr,
+                     const cluster::ShardMap *shards = nullptr);
 
     /** Begin generating load. */
     void start();
@@ -90,32 +120,94 @@ class TrafficGenerator
     /** Requests currently in flight (slot held). */
     std::uint64_t inFlight() const { return inFlight_; }
 
+    /** Requests that exceeded the timeout and were given up on. */
+    std::uint64_t requestTimeouts() const { return timeouts_; }
+
+    /** Requests re-dispatched after a timeout or a node mark-down. */
+    std::uint64_t failoverReroutes() const { return reroutes_; }
+
+    /** Replies/reads that arrived after their request timed out. */
+    std::uint64_t staleReplies() const { return staleReplies_; }
+
   private:
+    // cluster::ClusterView — what routers may observe.
+    std::uint32_t numServers() const override { return params_.numServers; }
+    bool isUp(std::uint32_t server) const override;
+    std::uint64_t outstanding(std::uint32_t server) const override
+    {
+        return perServerInFlight_[server];
+    }
+
+    /** Flat (client, server) pair index for the slot tables. */
+    std::size_t
+    pairIndex(proto::NodeId client, std::uint32_t server) const
+    {
+        return static_cast<std::size_t>(client) * params_.numServers +
+               server;
+    }
+
+    /** Flat (server, client, slot) key for outstanding requests. */
+    std::uint64_t
+    reqKey(std::uint32_t server, proto::NodeId client,
+           std::uint32_t slot) const
+    {
+        return (static_cast<std::uint64_t>(server) * domain_.numNodes +
+                client) *
+                   domain_.slotsPerNode +
+               slot;
+    }
+
     void onArrival();
-    void launchRequest(proto::NodeId src, std::uint32_t slot,
+    /** Route @p request and launch it (or queue it on the chosen
+     *  server's slot pool). */
+    void dispatchRequest(proto::NodeId src,
+                         std::vector<std::uint8_t> request);
+    std::uint32_t routeRequest(proto::NodeId src,
+                               const std::vector<std::uint8_t> &request);
+    void launchRequest(proto::NodeId src, std::uint32_t server,
+                       std::uint32_t slot,
                        std::vector<std::uint8_t> request);
-    void onReplyComplete(proto::NodeId dst, std::uint32_t slot,
+    void onReplyComplete(std::uint32_t server, proto::NodeId dst,
+                         std::uint32_t slot,
                          std::vector<std::uint8_t> reply);
     void onReplenish(const proto::Packet &pkt);
+    /** Periodic timeout scan (scheduled only when requestTimeout > 0). */
+    void sweepTimeouts();
+    /** Reroute everything queued toward @p server (just marked down). */
+    void drainPending(std::uint32_t server);
 
     sim::Simulator &sim_;
     Params params_;
     proto::MessagingDomain domain_;
     app::RpcApplication &app_;
     Fabric &fabric_;
+    cluster::Router *router_;
+    cluster::HealthTracker *health_;
+    const cluster::ShardMap *shards_;
     ArrivalDriver arrivals_;
     sim::Rng pickRng_;
     sim::Rng clientRng_;
+    /** Router-private stream: routing draws never perturb the client
+     *  or arrival streams. */
+    sim::Rng routerRng_;
 
-    /** Free request-slot numbers per source node. */
+    /** Free request-slot numbers per (client, server) pair. */
     std::vector<std::vector<std::uint32_t>> freeSlots_;
-    /** Requests waiting for a slot, per source node. */
+    /** Requests waiting for a slot, per (client, server) pair. */
     std::vector<std::deque<std::vector<std::uint8_t>>> pending_;
-    /** Outstanding request bytes per flat (src, slot) index. */
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
-        outstandingRequests_;
 
-    /** Reply reassembly: packets received per (dst, slot) key. */
+    /** An in-flight request: bytes for verification/rendezvous, plus
+     *  the server and send time for timeout-based failover. */
+    struct Outstanding
+    {
+        std::vector<std::uint8_t> bytes;
+        std::uint32_t server = 0;
+        sim::Tick sentAt = 0;
+    };
+    /** Outstanding requests keyed by reqKey(server, client, slot). */
+    std::unordered_map<std::uint64_t, Outstanding> outstandingRequests_;
+
+    /** Reply reassembly, keyed like outstandingRequests_. */
     struct ReplyAssembly
     {
         std::uint32_t arrived = 0;
@@ -124,6 +216,9 @@ class TrafficGenerator
     };
     std::unordered_map<std::uint64_t, ReplyAssembly> replies_;
 
+    /** In-flight requests per server (the router's load signal). */
+    std::vector<std::uint64_t> perServerInFlight_;
+
     std::uint64_t requestsSent_ = 0;
     std::vector<std::uint64_t> madeByClass_;
     std::uint64_t repliesReceived_ = 0;
@@ -131,6 +226,13 @@ class TrafficGenerator
     std::uint64_t deferrals_ = 0;
     std::uint64_t inFlight_ = 0;
     std::uint64_t rendezvous_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t reroutes_ = 0;
+    std::uint64_t staleReplies_ = 0;
+    bool halted_ = false;
+
+    sim::MemberEvent<TrafficGenerator, &TrafficGenerator::sweepTimeouts>
+        sweepEvent_;
 };
 
 } // namespace rpcvalet::net

@@ -188,6 +188,10 @@ RpcNode::dispatcherIndexForCore(proto::CoreId core) const
 void
 RpcNode::receivePacket(proto::Packet pkt)
 {
+    if (failed_) {
+        ++droppedPackets_;
+        return;
+    }
     const std::uint32_t backend =
         ingressBackendFor(pkt.hdr.src, pkt.hdr.slot);
     backends_[backend]->receivePacket(std::move(pkt));
@@ -511,12 +515,9 @@ RpcNode::finishRpc(ServiceEvent &ev)
     const sim::Tick busy_start = ev.busyStart;
 
     const sim::Tick latency = sim_.now() - cqe.firstPacketTick;
-    allLatency_.record(latency);
     ++servedTotal_;
-    if (critical) {
-        criticalLatency_.record(latency);
+    if (critical)
         ++servedCritical_;
-    }
     // Per-class accounting, including non-critical classes. Clamp a
     // stray id (e.g. a hand-built request against a workload that
     // never generates that class) into the declared table.
@@ -524,17 +525,24 @@ RpcNode::finishRpc(ServiceEvent &ev)
                                                   classes_.size() - 1);
     ClassAccounting &acct = classes_[cls];
     ++acct.served;
-    if (allLatency_.observed() > warmupSamples_)
-        acct.latency.record(latency);
     ++cores_[core].served;
 
-    // Component decomposition (timestamps are monotone along the
-    // pipeline by construction).
-    breakdown_.reassembly.record(cqe.completionTick -
-                                 cqe.firstPacketTick);
-    breakdown_.dispatch.record(cqe.deliveredTick - cqe.completionTick);
-    breakdown_.queueWait.record(busy_start - cqe.deliveredTick);
-    breakdown_.service.record(sim_.now() - busy_start);
+    if (recording_) {
+        allLatency_.record(latency);
+        if (critical)
+            criticalLatency_.record(latency);
+        if (allLatency_.observed() > warmupSamples_)
+            acct.latency.record(latency);
+
+        // Component decomposition (timestamps are monotone along the
+        // pipeline by construction).
+        breakdown_.reassembly.record(cqe.completionTick -
+                                     cqe.firstPacketTick);
+        breakdown_.dispatch.record(cqe.deliveredTick -
+                                   cqe.completionTick);
+        breakdown_.queueWait.record(busy_start - cqe.deliveredTick);
+        breakdown_.service.record(sim_.now() - busy_start);
+    }
 
     const proto::NodeId requester = cqe.srcNode;
     const std::uint32_t slot_off =

@@ -62,6 +62,27 @@ class RpcNode
     /** Register a hook run after every completed RPC. */
     void setCompletionHook(CompletionHook hook);
 
+    /**
+     * Fault injection: a failed node silently drops every incoming
+     * packet (requests, replenishes, read responses), exactly like a
+     * crashed machine whose NIC port went dark. In-flight RPCs that
+     * already reached a core still complete.
+     */
+    void setFailed(bool failed) { failed_ = failed; }
+
+    /** Whether this node is currently dropping packets. */
+    bool failed() const { return failed_; }
+
+    /**
+     * Enable/disable latency recording (cluster runs switch it on at
+     * the measurement window; served counters always run). On by
+     * default, so single-node behavior is unchanged.
+     */
+    void setRecording(bool recording) { recording_ = recording; }
+
+    /** Packets dropped while failed. */
+    std::uint64_t droppedPackets() const { return droppedPackets_; }
+
     // ----- measurement -----
 
     /**
@@ -267,6 +288,9 @@ class RpcNode
     std::unordered_map<std::uint32_t, Continuation> continuations_;
     std::uint64_t preemptionYields_ = 0;
     CompletionHook completionHook_;
+    bool failed_ = false;
+    bool recording_ = true;
+    std::uint64_t droppedPackets_ = 0;
     std::uint64_t servedTotal_ = 0;
     std::uint64_t servedCritical_ = 0;
     std::uint64_t replySlotStalls_ = 0;

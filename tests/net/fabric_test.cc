@@ -97,12 +97,20 @@ TEST(FabricDeath, DuplicateDefaultRegistrationIsFatal)
                 "default sink is already connected");
 }
 
-TEST(FabricDeath, UnconnectedDestinationPanics)
+TEST(FabricDeath, UnconnectedDestinationIsFatal)
 {
+    // A misaddressed packet used to trip a bare assert; it now dies
+    // via sim::fatal with a message naming the source node, the
+    // destination node, and the opcode — enough to identify the
+    // mis-wired component in a multi-node topology.
     Simulator sim;
     Fabric fabric(sim, nanoseconds(10));
-    fabric.send(packetTo(3));
-    EXPECT_DEATH(sim.run(), "unconnected node");
+    proto::Packet pkt = packetTo(3);
+    pkt.hdr.src = 9;
+    fabric.send(std::move(pkt));
+    EXPECT_EXIT(sim.run(), ::testing::ExitedWithCode(1),
+                "send packet from node 9 addressed to unconnected "
+                "node 3");
 }
 
 } // namespace
