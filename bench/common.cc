@@ -9,6 +9,7 @@
 #include "app/workload.hh"
 #include "cluster/router.hh"
 #include "net/arrival.hh"
+#include "sim/build_info.hh"
 #include "sim/logging.hh"
 
 namespace rpcvalet::bench {
@@ -150,6 +151,16 @@ writeJsonReport()
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n",
                  jsonEscape(r.benchName).c_str());
+    // Provenance stamp: which build produced these numbers (the same
+    // stamp the scenario runner's summary.json carries), so archived
+    // BENCH_*.json artifacts stay traceable to a commit.
+    const sim::BuildInfo &bi = sim::buildInfo();
+    std::fprintf(f,
+                 "  \"meta\": {\"build_type\": \"%s\", "
+                 "\"git_sha\": \"%s\", \"timestamp\": \"%s\"},\n",
+                 jsonEscape(bi.buildType).c_str(),
+                 jsonEscape(bi.gitSha).c_str(),
+                 jsonEscape(sim::iso8601UtcNow()).c_str());
     std::fprintf(f,
                  "  \"args\": {\"points\": %zu, \"rpcs\": %llu, "
                  "\"warmup\": %llu, \"seed\": %llu, \"fast\": %s, "

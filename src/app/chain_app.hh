@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Microservice-chain workload: every client arrival is the root of a
+ * fan-out tree of nested RPCs (the mRPC/Dagger microservice setting).
+ *
+ * A tier-t handler (t < tiers-1) declares `fanout` nested RPCs to
+ * tier t+1 through HandleResult.nested; the serving node defers the
+ * parent's reply until every child completes, so the root's measured
+ * latency composes end to end across tiers. The request-class id on
+ * the wire is the tier number, which rides the existing per-class
+ * accounting: RunStats.perClass reports each tier's tails separately,
+ * with only tier 0 (the client-visible RPC) latency-critical.
+ */
+
+#ifndef RPCVALET_APP_CHAIN_APP_HH
+#define RPCVALET_APP_CHAIN_APP_HH
+
+#include <string>
+
+#include "app/rpc_application.hh"
+
+namespace rpcvalet::app {
+
+/** Chained-handler workload ("chain:tiers=,fanout=,..."). */
+class ChainApp : public RpcApplication
+{
+  public:
+    struct Params
+    {
+        /** Chain depth, >= 1 (1 = single-hop, no nesting). */
+        std::uint32_t tiers = 2;
+        /** Nested RPCs each non-leaf handler issues, >= 1. */
+        std::uint32_t fanout = 2;
+        /** Tier-0 (root) handler processing time, ns. */
+        double rootNs = 600.0;
+        /** Processing time of every deeper tier, ns. */
+        double leafNs = 300.0;
+
+        /** fatal() on out-of-range settings. */
+        void validate() const;
+    };
+
+    ChainApp(const Params &params, std::string label);
+
+    std::vector<std::uint8_t> makeRequest(sim::Rng &client_rng) override;
+    HandleResult handle(const std::vector<std::uint8_t> &request,
+                        sim::Rng &server_rng) override;
+    bool verifyReply(const std::vector<std::uint8_t> &request,
+                     const std::vector<std::uint8_t> &reply) const override;
+    double meanProcessingNs() const override;
+    double latencyCriticalMeanNs() const override;
+    double requestsPerArrival() const override;
+    std::vector<RequestClass> requestClasses() const override;
+    std::string name() const override;
+
+  private:
+    Params params_;
+    std::string label_;
+};
+
+} // namespace rpcvalet::app
+
+#endif // RPCVALET_APP_CHAIN_APP_HH

@@ -70,6 +70,17 @@ struct HandleResult
      * must index into that vector. Single-class workloads leave it 0.
      */
     std::uint8_t classId = 0;
+    /**
+     * Nested RPCs this handler fans out to other cluster nodes (the
+     * mRPC/Dagger microservice setting): encoded request byte strings,
+     * issued after the handler's own processing time elapses. The
+     * parent's reply is deferred until every nested RPC completes, so
+     * its measured latency composes end to end across tiers; the
+     * parent's core is released while the chain is outstanding (the
+     * reply continuation is NI-driven). Empty for ordinary RPCs — the
+     * default path is bit-identical with this member unused.
+     */
+    std::vector<std::vector<std::uint8_t>> nested;
 };
 
 /** Interface every workload implements. */
@@ -99,6 +110,15 @@ class RpcApplication
     {
         return meanProcessingNs();
     }
+
+    /**
+     * Expected server-side RPCs per client arrival, >= 1. Chained
+     * workloads fan each arrival out into nested RPCs (a 2-tier chain
+     * with fanout 2 serves 3 RPCs per arrival), which
+     * core::estimateCapacityRps divides into the node's RPC capacity
+     * when placing load grids. Single-hop workloads keep the default.
+     */
+    virtual double requestsPerArrival() const { return 1.0; }
 
     /**
      * The workload's request classes, indexed by the class id carried

@@ -25,7 +25,9 @@
  *   (ordered store with interfering scans), "masstree-get" /
  *   "masstree-scan" (the pure classes, mix building blocks),
  *   "synthetic:dist=fixed|uniform|exponential|gev[,padding=]" (§5's
- *   echo microbenchmark), and the composite "mix:CLASS=WEIGHT,..."
+ *   echo microbenchmark), "chain:tiers=,fanout=,root_ns=,leaf_ns="
+ *   (microservice chain whose handlers fan out nested RPCs per tier),
+ *   and the composite "mix:CLASS=WEIGHT,..."
  *   which blends any registered workloads with per-request class tags
  *   (e.g. "mix:masstree-get=0.998,masstree-scan=0.002").
  */

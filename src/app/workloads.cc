@@ -15,6 +15,9 @@
  *                                               the pure scan class
  *   synthetic[:dist=fixed|uniform|exponential|gev,padding=]
  *                                               §5 echo microbenchmark
+ *   chain[:tiers=,fanout=,root_ns=,leaf_ns=]    microservice chain:
+ *                                               each arrival fans out
+ *                                               nested RPCs per tier
  *   mix:CLASS=WEIGHT,...                        composite of any
  *                                               registered workloads
  *
@@ -32,6 +35,7 @@
 #include <limits>
 #include <utility>
 
+#include "app/chain_app.hh"
 #include "app/herd_app.hh"
 #include "app/masstree_app.hh"
 #include "app/synthetic_app.hh"
@@ -306,6 +310,19 @@ const WorkloadRegistrar syntheticReg(
                 spec.uintParam("padding", 0)));
         }
         return app;
+    });
+
+const WorkloadRegistrar chainReg(
+    "chain", [](const WorkloadSpec &spec) {
+        spec.expectKeys({"tiers", "fanout", "root_ns", "leaf_ns"});
+        ChainApp::Params p;
+        p.tiers =
+            static_cast<std::uint32_t>(spec.uintParam("tiers", p.tiers));
+        p.fanout = static_cast<std::uint32_t>(
+            spec.uintParam("fanout", p.fanout));
+        p.rootNs = spec.doubleParam("root_ns", p.rootNs);
+        p.leafNs = spec.doubleParam("leaf_ns", p.leafNs);
+        return std::make_unique<ChainApp>(p, spec.toString());
     });
 
 const WorkloadRegistrar mixReg("mix", [](const WorkloadSpec &spec) {

@@ -134,6 +134,17 @@ runClusterExperiment(const ExperimentConfig &cfg)
     net::TrafficGenerator tg(sim, tp, cfg.system.domain, *clientApp,
                              fabric, router.get(), &health, &shards);
 
+    // Chained handlers (HandleResult.nested) issue their fan-out
+    // through the generator's chain-group machinery. Wiring alone adds
+    // no events; non-nesting workloads stay bit-identical.
+    for (auto &n : nodes) {
+        n->setNestedIssuer(
+            [&tg](std::vector<std::vector<std::uint8_t>> requests,
+                  std::function<void()> done) {
+                tg.issueNested(std::move(requests), std::move(done));
+            });
+    }
+
     // Explicit topology wiring: every emulated client node gets its
     // own connect; nothing rides a default sink (a packet to a node
     // outside the topology is now a hard fabric error).
@@ -281,6 +292,8 @@ runClusterExperiment(const ExperimentConfig &cfg)
     out.failoverReroutes = tg.failoverReroutes();
     out.staleReplies = tg.staleReplies();
     out.nodesDown = health.nodesDown(sim.now());
+    out.nestedRpcsSent = tg.nestedSent();
+    out.chainsCompleted = tg.chainsCompleted();
 
     checkVerifyFailures(cfg, out);
     return out;
@@ -336,6 +349,11 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     tp.clientTurnaround = cfg.clientTurnaround;
     tp.seed = cfg.system.seed;
     net::TrafficGenerator tg(sim, tp, cfg.system.domain, app, fabric);
+    node.setNestedIssuer(
+        [&tg](std::vector<std::vector<std::uint8_t>> requests,
+              std::function<void()> done) {
+            tg.issueNested(std::move(requests), std::move(done));
+        });
     // Explicit topology wiring: one connect per emulated client node
     // (no default sink — a packet to an unknown node is a hard fabric
     // error, not silently absorbed).
@@ -426,6 +444,8 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     out.requestTimeouts = tg.requestTimeouts();
     out.failoverReroutes = tg.failoverReroutes();
     out.staleReplies = tg.staleReplies();
+    out.nestedRpcsSent = tg.nestedSent();
+    out.chainsCompleted = tg.chainsCompleted();
 
     checkVerifyFailures(cfg, out);
     return out;
@@ -508,7 +528,11 @@ estimateCapacityRps(const node::SystemParams &system,
     const double sbar_ns =
         app.meanProcessingNs() +
         sim::toNs(system.coreCosts.totalOverhead());
-    return static_cast<double>(system.numCores) / (sbar_ns * 1e-9);
+    // Chained workloads serve requestsPerArrival() RPCs per client
+    // arrival, so a node's arrival capacity shrinks by that factor
+    // (1.0 for ordinary workloads).
+    return static_cast<double>(system.numCores) /
+           (sbar_ns * 1e-9 * app.requestsPerArrival());
 }
 
 double

@@ -228,6 +228,10 @@ struct RunStats
     std::uint64_t staleReplies = 0;
     /** Server nodes the health tracker held down at run end. */
     std::uint32_t nodesDown = 0;
+    /** Nested RPCs issued on behalf of chained handlers. */
+    std::uint64_t nestedRpcsSent = 0;
+    /** Nested-RPC chain groups whose every member completed. */
+    std::uint64_t chainsCompleted = 0;
 };
 
 /**
@@ -286,8 +290,10 @@ SweepResult runSweep(const SweepConfig &cfg);
 
 /**
  * First-order capacity estimate: numCores / S-bar, with S-bar
- * approximated as mean processing time + per-RPC loop overhead. Used
- * by benches to place load grids.
+ * approximated as mean processing time + per-RPC loop overhead, scaled
+ * down by the workload's requestsPerArrival() (chained workloads serve
+ * a whole fan-out tree per client arrival). Used by benches and the
+ * scenario runner to place load grids.
  */
 double estimateCapacityRps(const node::SystemParams &system,
                            const app::RpcApplication &app);

@@ -78,6 +78,19 @@ TrafficGenerator::isUp(std::uint32_t server) const
 void
 TrafficGenerator::onArrival()
 {
+    const proto::NodeId src = pickClientNode();
+
+    // Requests larger than maxMsgBytes are legal: they take the
+    // rendezvous path (§4.2) in launchRequest.
+    std::vector<std::uint8_t> request = app_.makeRequest(clientRng_);
+    countRequestClass(request);
+
+    dispatchRequest(src, std::move(request), /*chain=*/0);
+}
+
+proto::NodeId
+TrafficGenerator::pickClientNode()
+{
     // Pick a uniformly random remote source node (§5: "from randomly
     // selected nodes of the cluster"), skipping the server block.
     const std::uint32_t numClients =
@@ -86,11 +99,13 @@ TrafficGenerator::onArrival()
         pickRng_.uniformInt(0, numClients - 1));
     if (src >= params_.targetNode)
         src += params_.numServers;
+    return src;
+}
 
-    // Requests larger than maxMsgBytes are legal: they take the
-    // rendezvous path (§4.2) in launchRequest.
-    std::vector<std::uint8_t> request = app_.makeRequest(clientRng_);
-
+void
+TrafficGenerator::countRequestClass(
+    const std::vector<std::uint8_t> &request)
+{
     // Per-class generation counter, read off the wire's class byte
     // (clamped like the server side clamps stray ids).
     const std::size_t cls =
@@ -99,8 +114,30 @@ TrafficGenerator::onArrival()
                                     madeByClass_.size() - 1)
             : 0;
     ++madeByClass_[cls];
+}
 
-    dispatchRequest(src, std::move(request));
+void
+TrafficGenerator::issueNested(
+    std::vector<std::vector<std::uint8_t>> requests,
+    std::function<void()> done)
+{
+    RV_ASSERT(!requests.empty(), "empty nested-RPC group");
+    RV_ASSERT(done != nullptr, "nested-RPC group needs a completion");
+    const std::uint64_t chain = nextChainId_++;
+    chains_.emplace(chain,
+                    ChainGroup{
+                        static_cast<std::uint32_t>(requests.size()),
+                        std::move(done)});
+    nestedSent_ += requests.size();
+    for (auto &request : requests) {
+        // Each nested RPC enters the fabric like a client arrival,
+        // from a random emulated node: under uniform fabric latency
+        // this is latency-equivalent to issuing from the serving node
+        // and reuses the per-(source, server) flow-control slots.
+        const proto::NodeId src = pickClientNode();
+        countRequestClass(request);
+        dispatchRequest(src, std::move(request), chain);
+    }
 }
 
 std::uint32_t
@@ -125,7 +162,8 @@ TrafficGenerator::routeRequest(proto::NodeId src,
 
 void
 TrafficGenerator::dispatchRequest(proto::NodeId src,
-                                  std::vector<std::uint8_t> request)
+                                  std::vector<std::uint8_t> request,
+                                  std::uint64_t chain)
 {
     const std::uint32_t server = routeRequest(src, request);
     const std::size_t pair = pairIndex(src, server);
@@ -133,18 +171,20 @@ TrafficGenerator::dispatchRequest(proto::NodeId src,
         // End-to-end flow control: all S slots toward that server are
         // in flight; the request waits for a replenish (§4.2).
         ++deferrals_;
-        pending_[pair].push_back(std::move(request));
+        pending_[pair].push_back(
+            PendingRequest{std::move(request), chain});
         return;
     }
     const std::uint32_t slot = freeSlots_[pair].back();
     freeSlots_[pair].pop_back();
-    launchRequest(src, server, slot, std::move(request));
+    launchRequest(src, server, slot, std::move(request), chain);
 }
 
 void
 TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t server,
                                 std::uint32_t slot,
-                                std::vector<std::uint8_t> request)
+                                std::vector<std::uint8_t> request,
+                                std::uint64_t chain)
 {
     ++requestsSent_;
     ++inFlight_;
@@ -168,14 +208,14 @@ TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t server,
         descriptor.hdr.rendezvousBytes =
             static_cast<std::uint32_t>(request.size());
         outstandingRequests_[key] =
-            Outstanding{std::move(request), server, sim_.now()};
+            Outstanding{std::move(request), server, sim_.now(), chain};
         fabric_.send(std::move(descriptor));
         return;
     }
     auto packets =
         proto::packetize(proto::OpType::Send, src, dst, slot, request);
     outstandingRequests_[key] =
-        Outstanding{std::move(request), server, sim_.now()};
+        Outstanding{std::move(request), server, sim_.now(), chain};
     for (auto &pkt : packets)
         fabric_.send(std::move(pkt));
 }
@@ -267,26 +307,38 @@ TrafficGenerator::onReplyComplete(std::uint32_t server,
     if (it == outstandingRequests_.end()) {
         RV_ASSERT(params_.requestTimeout > 0,
                   "reply for unknown request");
-        // The request already timed out and was rerouted elsewhere;
-        // drop the late reply (its slot credit returns separately via
-        // the server's replenish).
+        // The request already timed out and was rerouted elsewhere:
+        // drop the late reply's payload, but still return the reply's
+        // send-slot credit below — the reply did occupy the server's
+        // mirrored send slot, and withholding the replenish would leak
+        // it, wedging every later reply on that slot into an infinite
+        // busy-retry (seen with chained workloads, whose composed root
+        // latency can legitimately cross the request timeout on a
+        // healthy node).
         ++staleReplies_;
-        return;
+    } else {
+        if (!app_.verifyReply(it->second.bytes, reply))
+            ++verifyFailures_;
+        const std::uint64_t chain = it->second.chain;
+        outstandingRequests_.erase(it);
+        ++repliesReceived_;
+        RV_ASSERT(inFlight_ > 0, "in-flight underflow");
+        --inFlight_;
+        RV_ASSERT(perServerInFlight_[server] > 0,
+                  "per-server in-flight underflow");
+        --perServerInFlight_[server];
+        if (health_ != nullptr)
+            health_->reportSuccess(server);
+        // Last among the accounting: the chain-group completion may
+        // re-enter this generator (a resumed parent's own reply
+        // path), so everything above must already be settled. The
+        // replenish below is scheduled either way, so ordering with
+        // it is immaterial.
+        if (chain != 0)
+            onChainMemberDone(chain);
     }
-    if (!app_.verifyReply(it->second.bytes, reply))
-        ++verifyFailures_;
-    outstandingRequests_.erase(it);
-    ++repliesReceived_;
-    RV_ASSERT(inFlight_ > 0, "in-flight underflow");
-    --inFlight_;
-    RV_ASSERT(perServerInFlight_[server] > 0,
-              "per-server in-flight underflow");
-    --perServerInFlight_[server];
-    if (health_ != nullptr)
-        health_->reportSuccess(server);
-
     // Return the reply's send-slot credit to the serving node after
-    // the client-side turnaround.
+    // the client-side turnaround (stale replies included, see above).
     const proto::NodeId replyDst = params_.targetNode + server;
     sim_.schedule(params_.clientTurnaround,
                   [this, dst, replyDst, slot] {
@@ -299,6 +351,20 @@ TrafficGenerator::onReplyComplete(std::uint32_t server,
                       pkt.hdr.msgBytes = 0;
                       fabric_.send(std::move(pkt));
                   });
+}
+
+void
+TrafficGenerator::onChainMemberDone(std::uint64_t chain)
+{
+    auto it = chains_.find(chain);
+    RV_ASSERT(it != chains_.end(), "reply for unknown chain group");
+    RV_ASSERT(it->second.remaining > 0, "chain-group underflow");
+    if (--it->second.remaining > 0)
+        return;
+    std::function<void()> done = std::move(it->second.done);
+    chains_.erase(it);
+    ++chainsCompleted_;
+    done();
 }
 
 void
@@ -315,10 +381,10 @@ TrafficGenerator::onReplenish(const proto::Packet &pkt)
     RV_ASSERT(src < domain_.numNodes, "replenish for unknown node");
     const std::size_t pair = pairIndex(src, server);
     if (!pending_[pair].empty()) {
-        std::vector<std::uint8_t> request =
-            std::move(pending_[pair].front());
+        PendingRequest next = std::move(pending_[pair].front());
         pending_[pair].pop_front();
-        launchRequest(src, server, slot, std::move(request));
+        launchRequest(src, server, slot, std::move(next.bytes),
+                      next.chain);
     } else {
         freeSlots_[pair].push_back(slot);
     }
@@ -349,6 +415,7 @@ TrafficGenerator::sweepTimeouts()
         const proto::NodeId client = static_cast<proto::NodeId>(
             (key / domain_.slotsPerNode) % domain_.numNodes);
         std::vector<std::uint8_t> request = std::move(it->second.bytes);
+        const std::uint64_t chain = it->second.chain;
         outstandingRequests_.erase(it);
         // A partially assembled reply for the dead request must not
         // pollute the slot's next use.
@@ -368,8 +435,10 @@ TrafficGenerator::sweepTimeouts()
             // server would wait forever — reroute it now.
             drainPending(server);
         }
+        // Reroutes keep their chain group: a chain member survives
+        // timeouts without double-counting toward the group.
         ++reroutes_;
-        dispatchRequest(client, std::move(request));
+        dispatchRequest(client, std::move(request), chain);
     }
 
     sim_.schedule(sweepEvent_,
@@ -379,8 +448,7 @@ TrafficGenerator::sweepTimeouts()
 void
 TrafficGenerator::drainPending(std::uint32_t server)
 {
-    std::vector<std::pair<proto::NodeId, std::vector<std::uint8_t>>>
-        queued;
+    std::vector<std::pair<proto::NodeId, PendingRequest>> queued;
     for (proto::NodeId n = 0; n < domain_.numNodes; ++n) {
         auto &q = pending_[pairIndex(n, server)];
         while (!q.empty()) {
@@ -390,7 +458,8 @@ TrafficGenerator::drainPending(std::uint32_t server)
     }
     for (auto &[client, request] : queued) {
         ++reroutes_;
-        dispatchRequest(client, std::move(request));
+        dispatchRequest(client, std::move(request.bytes),
+                        request.chain);
     }
 }
 

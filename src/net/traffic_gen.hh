@@ -22,6 +22,12 @@
  * path. With numServers == 1 and no router the generator behaves
  * bit-identically to the original single-node version: no extra Rng
  * draws, no extra events.
+ *
+ * The generator also plays the fabric side of nested RPC chains
+ * (issueNested): a server whose handler fans out to other tiers hands
+ * its nested requests here, where they ride the normal client
+ * machinery as a chain group whose completion resumes the parent's
+ * deferred reply. Workloads that never nest take none of these paths.
  */
 
 #ifndef RPCVALET_NET_TRAFFIC_GEN_HH
@@ -29,6 +35,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -89,6 +96,25 @@ class TrafficGenerator : private cluster::ClusterView
 
     /** Fabric sink for packets addressed to any emulated node. */
     void receivePacket(proto::Packet pkt);
+
+    /**
+     * Issue a server's nested RPCs (HandleResult.nested) as a chain
+     * group: each request is routed and launched like a client arrival
+     * (from a random emulated source node — latency-equivalent to
+     * issuing from the serving node, since fabric latency is uniform),
+     * and @p done fires once when every request in the group has
+     * completed. Rerouted requests keep their group, so a chain
+     * survives timeouts and node failover. The experiment layer wires
+     * this as every RpcNode's nested issuer.
+     */
+    void issueNested(std::vector<std::vector<std::uint8_t>> requests,
+                     std::function<void()> done);
+
+    /** Nested RPCs issued on behalf of servers. */
+    std::uint64_t nestedSent() const { return nestedSent_; }
+
+    /** Chain groups whose every nested RPC completed. */
+    std::uint64_t chainsCompleted() const { return chainsCompleted_; }
 
     /** Requests injected into the fabric. */
     std::uint64_t requestsSent() const { return requestsSent_; }
@@ -158,18 +184,27 @@ class TrafficGenerator : private cluster::ClusterView
     }
 
     void onArrival();
+    /** Uniformly random remote source node (skips the server block). */
+    proto::NodeId pickClientNode();
+    /** Bump the per-class generation counter off the wire bytes. */
+    void countRequestClass(const std::vector<std::uint8_t> &request);
     /** Route @p request and launch it (or queue it on the chosen
-     *  server's slot pool). */
+     *  server's slot pool). @p chain ties it to a chain group
+     *  (0 = ordinary client request). */
     void dispatchRequest(proto::NodeId src,
-                         std::vector<std::uint8_t> request);
+                         std::vector<std::uint8_t> request,
+                         std::uint64_t chain);
     std::uint32_t routeRequest(proto::NodeId src,
                                const std::vector<std::uint8_t> &request);
     void launchRequest(proto::NodeId src, std::uint32_t server,
                        std::uint32_t slot,
-                       std::vector<std::uint8_t> request);
+                       std::vector<std::uint8_t> request,
+                       std::uint64_t chain);
     void onReplyComplete(std::uint32_t server, proto::NodeId dst,
                          std::uint32_t slot,
                          std::vector<std::uint8_t> reply);
+    /** A chain member finished; fire the group's done at zero. */
+    void onChainMemberDone(std::uint64_t chain);
     void onReplenish(const proto::Packet &pkt);
     /** Periodic timeout scan (scheduled only when requestTimeout > 0). */
     void sweepTimeouts();
@@ -193,16 +228,25 @@ class TrafficGenerator : private cluster::ClusterView
 
     /** Free request-slot numbers per (client, server) pair. */
     std::vector<std::vector<std::uint32_t>> freeSlots_;
+    /** A request waiting for a slot; chain 0 = ordinary request. */
+    struct PendingRequest
+    {
+        std::vector<std::uint8_t> bytes;
+        std::uint64_t chain = 0;
+    };
     /** Requests waiting for a slot, per (client, server) pair. */
-    std::vector<std::deque<std::vector<std::uint8_t>>> pending_;
+    std::vector<std::deque<PendingRequest>> pending_;
 
     /** An in-flight request: bytes for verification/rendezvous, plus
-     *  the server and send time for timeout-based failover. */
+     *  the server and send time for timeout-based failover. The chain
+     *  id (0 = none) survives reroutes, so a chain group's completion
+     *  count stays exact across failover. */
     struct Outstanding
     {
         std::vector<std::uint8_t> bytes;
         std::uint32_t server = 0;
         sim::Tick sentAt = 0;
+        std::uint64_t chain = 0;
     };
     /** Outstanding requests keyed by reqKey(server, client, slot). */
     std::unordered_map<std::uint64_t, Outstanding> outstandingRequests_;
@@ -219,6 +263,16 @@ class TrafficGenerator : private cluster::ClusterView
     /** In-flight requests per server (the router's load signal). */
     std::vector<std::uint64_t> perServerInFlight_;
 
+    /** An open chain group: members still in flight + completion. */
+    struct ChainGroup
+    {
+        std::uint32_t remaining = 0;
+        std::function<void()> done;
+    };
+    /** Open chain groups keyed by chain id (allocated from 1 up). */
+    std::unordered_map<std::uint64_t, ChainGroup> chains_;
+    std::uint64_t nextChainId_ = 1;
+
     std::uint64_t requestsSent_ = 0;
     std::vector<std::uint64_t> madeByClass_;
     std::uint64_t repliesReceived_ = 0;
@@ -229,6 +283,8 @@ class TrafficGenerator : private cluster::ClusterView
     std::uint64_t timeouts_ = 0;
     std::uint64_t reroutes_ = 0;
     std::uint64_t staleReplies_ = 0;
+    std::uint64_t nestedSent_ = 0;
+    std::uint64_t chainsCompleted_ = 0;
     bool halted_ = false;
 
     sim::MemberEvent<TrafficGenerator, &TrafficGenerator::sweepTimeouts>

@@ -144,6 +144,12 @@ RpcNode::setCompletionHook(CompletionHook hook)
     completionHook_ = std::move(hook);
 }
 
+void
+RpcNode::setNestedIssuer(NestedIssuer issuer)
+{
+    nestedIssuer_ = std::move(issuer);
+}
+
 std::uint32_t
 RpcNode::ingressBackendFor(proto::NodeId src, std::uint32_t slot) const
 {
@@ -342,7 +348,30 @@ RpcNode::runRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
         ev->node = this;
         ev->stage = ServiceEvent::Stage::Yield;
         ev->core = core;
+        ev->detached = false;
         ev->cqe = std::move(cqe);
+        ev->busyStart = busy_start;
+        sim_.schedule(*ev, pre);
+        return;
+    }
+
+    // A chained handler: the nested RPCs depart once the handler's own
+    // processing is done; the reply (and its build cost) waits for the
+    // chain. Non-nesting workloads never reach this branch, keeping
+    // their event sequence bit-identical.
+    if (!result.nested.empty()) {
+        if (!nestedIssuer_) {
+            sim::fatal("workload issued nested RPCs but no nested "
+                       "issuer is wired (single-node harness?)");
+        }
+        const sim::Tick pre = base_pre + processing;
+        ServiceEvent *ev = servicePool_.acquire();
+        ev->node = this;
+        ev->stage = ServiceEvent::Stage::NestedIssue;
+        ev->core = core;
+        ev->detached = false;
+        ev->cqe = std::move(cqe);
+        ev->result = std::move(result);
         ev->busyStart = busy_start;
         sim_.schedule(*ev, pre);
         return;
@@ -353,6 +382,7 @@ RpcNode::runRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
     ev->node = this;
     ev->stage = ServiceEvent::Stage::Reply;
     ev->core = core;
+    ev->detached = false;
     ev->cqe = std::move(cqe);
     ev->result = std::move(result);
     ev->busyStart = busy_start;
@@ -383,6 +413,9 @@ RpcNode::serviceStage(ServiceEvent &ev)
         dispatchers_[d]->onReplenish(core);
         break;
       }
+      case ServiceEvent::Stage::NestedIssue:
+        issueNestedStage(ev);
+        break;
       case ServiceEvent::Stage::Reply:
         attemptReply(ev);
         break;
@@ -412,6 +445,7 @@ RpcNode::runSlice(proto::CoreId core, proto::CompletionQueueEntry cqe,
     ServiceEvent *ev = servicePool_.acquire();
     ev->node = this;
     ev->core = core;
+    ev->detached = false;
     ev->busyStart = busy_start;
 
     if (cont.remaining > params_.preemptionQuantum) {
@@ -424,13 +458,22 @@ RpcNode::runSlice(proto::CoreId core, proto::CompletionQueueEntry cqe,
         return;
     }
 
-    // Final slice: finish the remaining work and take the normal
-    // reply + replenish exit path.
+    // Final slice: finish the remaining work and take the normal exit
+    // path — nested fan-out if the handler chained, else the reply.
     const sim::Tick remaining = cont.remaining;
-    ev->stage = ServiceEvent::Stage::Reply;
     ev->cqe = std::move(cqe);
     ev->result = std::move(cont.result);
     continuations_.erase(it);
+    if (!ev->result.nested.empty()) {
+        if (!nestedIssuer_) {
+            sim::fatal("workload issued nested RPCs but no nested "
+                       "issuer is wired (single-node harness?)");
+        }
+        ev->stage = ServiceEvent::Stage::NestedIssue;
+        sim_.schedule(*ev, pre_cost + remaining);
+        return;
+    }
+    ev->stage = ServiceEvent::Stage::Reply;
     const sim::Tick pre =
         pre_cost + remaining + params_.coreCosts.replyBuild;
     sim_.schedule(*ev, pre);
@@ -461,6 +504,35 @@ RpcNode::yieldRpc(ServiceEvent &ev)
     // later, so servedTotal does not move here.
     busyAccum_ += sim_.now() - ev.busyStart;
     corePullNext(core);
+}
+
+void
+RpcNode::issueNestedStage(ServiceEvent &ev)
+{
+    // The handler ran to completion and declared nested RPCs. The
+    // parent becomes a detached continuation: its core is released
+    // (occupancy counts only the handler's own processing, so S-bar
+    // stays honest) and its reply resumes — off-core, reply-build cost
+    // only — once the chain group completes. The receive slot stays
+    // busy meanwhile, exactly like a thread parked on pending I/O.
+    const proto::CoreId core = ev.core;
+    busyAccum_ += sim_.now() - ev.busyStart;
+
+    // The core's dispatch credit returns now, not at the (deferred)
+    // replenish: the core really is free to serve other RPCs while
+    // the chain is in flight.
+    notifyDispatcherCredit(core);
+
+    std::vector<std::vector<std::uint8_t>> nested =
+        std::move(ev.result.nested);
+    ev.result.nested.clear();
+    ServiceEvent *parent = &ev;
+    corePullNext(core);
+    nestedIssuer_(std::move(nested), [this, parent] {
+        parent->detached = true;
+        parent->stage = ServiceEvent::Stage::Reply;
+        sim_.schedule(*parent, params_.coreCosts.replyBuild);
+    });
 }
 
 void
@@ -563,27 +635,44 @@ RpcNode::finishRpc(ServiceEvent &ev)
     });
 
     // Tell the dispatcher this core freed a credit (hardware modes).
-    if (params_.mode == ni::DispatchMode::SingleQueue ||
-        params_.mode == ni::DispatchMode::PerBackendGroup) {
-        const std::uint32_t d = dispatcherIndexForCore(core);
-        const std::uint32_t db =
-            params_.mode == ni::DispatchMode::SingleQueue
-                ? params_.dispatcherBackend
-                : d;
-        const sim::Tick notify_delay =
-            params_.memory.qpTransferLatency() +
-            mesh_.coreToBackend(core, db, wqeBytes);
-        sim_.schedule(notify_delay,
-                      [this, d, core] { dispatchers_[d]->onReplenish(core); });
-    }
+    // A detached parent already returned its credit when its nested
+    // RPCs departed (issueNestedStage) — no second notify.
+    if (!ev.detached)
+        notifyDispatcherCredit(core);
 
     if (completionHook_)
         completionHook_(critical, latency);
+
+    if (ev.detached) {
+        // The core moved on long ago (issueNestedStage accounted its
+        // occupancy and pulled the next request); the parent's
+        // bookkeeping above is all that was left.
+        servicePool_.release(&ev);
+        return;
+    }
 
     // §5 loop bookkeeping, then look for the next request (the event
     // carries itself into the Loop epilogue).
     ev.stage = ServiceEvent::Stage::Loop;
     sim_.schedule(ev, params_.coreCosts.loopOverhead);
+}
+
+void
+RpcNode::notifyDispatcherCredit(proto::CoreId core)
+{
+    if (params_.mode != ni::DispatchMode::SingleQueue &&
+        params_.mode != ni::DispatchMode::PerBackendGroup)
+        return;
+    const std::uint32_t d = dispatcherIndexForCore(core);
+    const std::uint32_t db =
+        params_.mode == ni::DispatchMode::SingleQueue
+            ? params_.dispatcherBackend
+            : d;
+    const sim::Tick notify_delay =
+        params_.memory.qpTransferLatency() +
+        mesh_.coreToBackend(core, db, wqeBytes);
+    sim_.schedule(notify_delay,
+                  [this, d, core] { dispatchers_[d]->onReplenish(core); });
 }
 
 void

@@ -63,6 +63,19 @@ class RpcNode
     void setCompletionHook(CompletionHook hook);
 
     /**
+     * Issues a handler's nested RPCs (app::HandleResult::nested) into
+     * the cluster, then runs the given completion once every one of
+     * them has been served. The experiment layer wires the traffic
+     * generator's issueNested() here; leaving it unset is fatal only
+     * when a workload actually nests.
+     */
+    using NestedIssuer = std::function<void(
+        std::vector<std::vector<std::uint8_t>>, std::function<void()>)>;
+
+    /** Register the cluster-side issuer for nested RPCs. */
+    void setNestedIssuer(NestedIssuer issuer);
+
+    /**
      * Fault injection: a failed node silently drops every incoming
      * packet (requests, replenishes, read responses), exactly like a
      * crashed machine whose NIC port went dark. In-flight RPCs that
@@ -90,7 +103,10 @@ class RpcNode
      * between first packet and replenish. Mirrors the paper's
      * end-to-end pipeline: reassembly at the NI backend, dispatch
      * (shared-CQ wait + credit wait + delivery), private-CQ wait at
-     * the core, and core service.
+     * the core, and core service. For a chained parent the service
+     * component spans its processing, the nested-chain wait, and the
+     * reply build — the wall-clock shape of its RPC — even though the
+     * core itself was released at fan-out (S-bar excludes the wait).
      */
     struct Breakdown
     {
@@ -210,6 +226,7 @@ class RpcNode
         {
             Yield,       ///< quantum expired: bank continuation
             YieldNotify, ///< re-enqueue + credit return at dispatcher
+            NestedIssue, ///< handler done: fan out nested RPCs
             Reply,       ///< attempt the slot-mirrored reply
             Finish,      ///< replenish posted; record + clean up
             Loop,        ///< §5 loop bookkeeping, then pull next
@@ -220,6 +237,9 @@ class RpcNode
         proto::CoreId core = 0;
         std::uint32_t dispatcher = 0; ///< YieldNotify target
         bool critical = false;
+        /** Parent RPC whose core was released while its nested chain
+         *  ran (the reply resumed off-core; see issueNestedStage). */
+        bool detached = false;
         proto::CompletionQueueEntry cqe;
         app::HandleResult result;
         sim::Tick busyStart = 0;
@@ -254,8 +274,10 @@ class RpcNode
                   sim::Tick pre_cost, sim::Tick busy_start);
     void serviceStage(ServiceEvent &ev);
     void yieldRpc(ServiceEvent &ev);
+    void issueNestedStage(ServiceEvent &ev);
     void attemptReply(ServiceEvent &ev);
     void finishRpc(ServiceEvent &ev);
+    void notifyDispatcherCredit(proto::CoreId core);
     void corePullNext(proto::CoreId core);
 
     sim::Simulator &sim_;
@@ -288,6 +310,7 @@ class RpcNode
     std::unordered_map<std::uint32_t, Continuation> continuations_;
     std::uint64_t preemptionYields_ = 0;
     CompletionHook completionHook_;
+    NestedIssuer nestedIssuer_;
     bool failed_ = false;
     bool recording_ = true;
     std::uint64_t droppedPackets_ = 0;

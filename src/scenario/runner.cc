@@ -1,0 +1,425 @@
+#include "scenario/runner.hh"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "sim/build_info.hh"
+#include "sim/logging.hh"
+#include "stats/metrics.hh"
+
+namespace rpcvalet::scenario {
+
+namespace {
+
+// Minimal local JSON helpers (mirroring bench/common.cc): the output
+// layer is deliberately dependency-free, and the two writers are the
+// only JSON producers in the tree.
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += sim::strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** JSON number: non-finite values (empty percentiles) become null. */
+void
+jsonNumber(std::FILE *f, double v)
+{
+    if (std::isfinite(v))
+        std::fprintf(f, "%.10g", v);
+    else
+        std::fputs("null", f);
+}
+
+void
+jsonUint(std::FILE *f, std::uint64_t v)
+{
+    std::fprintf(f, "%llu", static_cast<unsigned long long>(v));
+}
+
+std::FILE *
+openOrDie(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        sim::fatal(sim::strfmt("scenario output: cannot write '%s'",
+                               path.c_str()));
+    }
+    return f;
+}
+
+/** The point's axis values as a JSON fragment (no trailing comma). */
+void
+writeAxes(std::FILE *f, const ScenarioPoint &pt)
+{
+    std::fprintf(f,
+                 "\"workload\": \"%s\", \"policy\": \"%s\", "
+                 "\"arrival\": \"%s\", \"router\": \"%s\", "
+                 "\"nodes\": %u",
+                 jsonEscape(pt.workload).c_str(),
+                 jsonEscape(pt.policy).c_str(),
+                 jsonEscape(pt.arrival).c_str(),
+                 jsonEscape(pt.router).c_str(), pt.nodes);
+}
+
+/** The build/git/timestamp provenance stamp every artifact carries. */
+void
+writeMeta(std::FILE *f, const std::string &timestamp)
+{
+    const sim::BuildInfo &bi = sim::buildInfo();
+    std::fprintf(f,
+                 "\"meta\": {\"build_type\": \"%s\", \"git_sha\": "
+                 "\"%s\", \"timestamp\": \"%s\"}",
+                 jsonEscape(bi.buildType).c_str(),
+                 jsonEscape(bi.gitSha).c_str(),
+                 jsonEscape(timestamp).c_str());
+}
+
+void
+writePointJson(const std::string &path, const Scenario &scn,
+               const PointResult &res, const std::string &timestamp)
+{
+    std::FILE *f = openOrDie(path);
+    const ScenarioPoint &pt = res.point;
+    const core::RunStats &st = res.stats;
+
+    std::fprintf(f, "{\n  \"scenario\": \"%s\",\n  \"point\": %zu,\n  ",
+                 jsonEscape(scn.name).c_str(), pt.index);
+    writeMeta(f, timestamp);
+    std::fputs(",\n  ", f);
+    writeAxes(f, pt);
+    std::fputs(",\n  \"load_fraction\": ", f);
+    jsonNumber(f, pt.loadFraction);
+    std::fputs(",\n  \"offered_rps\": ", f);
+    jsonNumber(f, st.point.offeredRps);
+    std::fputs(", \"achieved_rps\": ", f);
+    jsonNumber(f, st.point.achievedRps);
+    std::fputs(",\n  \"mean_ns\": ", f);
+    jsonNumber(f, st.point.meanNs);
+    std::fputs(", \"p50_ns\": ", f);
+    jsonNumber(f, st.point.p50Ns);
+    std::fputs(", \"p90_ns\": ", f);
+    jsonNumber(f, st.point.p90Ns);
+    std::fputs(", \"p99_ns\": ", f);
+    jsonNumber(f, st.point.p99Ns);
+    std::fputs(", \"samples\": ", f);
+    jsonUint(f, st.point.samples);
+    std::fputs(",\n  \"mean_service_ns\": ", f);
+    jsonNumber(f, st.meanServiceNs);
+    std::fputs(", \"completions\": ", f);
+    jsonUint(f, st.completions);
+    std::fputs(", \"critical_completions\": ", f);
+    jsonUint(f, st.criticalCompletions);
+    std::fputs(",\n  \"executed_events\": ", f);
+    jsonUint(f, st.executedEvents);
+    std::fputs(", \"simulated_us\": ", f);
+    jsonNumber(f, st.simulatedUs);
+    std::fputs(",\n  \"nested_rpcs_sent\": ", f);
+    jsonUint(f, st.nestedRpcsSent);
+    std::fputs(", \"chains_completed\": ", f);
+    jsonUint(f, st.chainsCompleted);
+    std::fputs(",\n  \"request_timeouts\": ", f);
+    jsonUint(f, st.requestTimeouts);
+    std::fputs(", \"failover_reroutes\": ", f);
+    jsonUint(f, st.failoverReroutes);
+    std::fputs(", \"stale_replies\": ", f);
+    jsonUint(f, st.staleReplies);
+    std::fprintf(f, ", \"nodes_down\": %u", st.nodesDown);
+
+    std::fputs(",\n  \"per_class\": [", f);
+    for (std::size_t c = 0; c < st.perClass.size(); ++c) {
+        const core::ClassStats &cs = st.perClass[c];
+        std::fprintf(f,
+                     "%s\n    {\"class\": \"%s\", \"critical\": %s, "
+                     "\"completions\": ",
+                     c == 0 ? "" : ",", jsonEscape(cs.name).c_str(),
+                     cs.latencyCritical ? "true" : "false");
+        jsonUint(f, cs.completions);
+        std::fputs(", \"achieved_rps\": ", f);
+        jsonNumber(f, cs.achievedRps);
+        std::fputs(", \"mean_ns\": ", f);
+        jsonNumber(f, cs.meanNs);
+        std::fputs(", \"p50_ns\": ", f);
+        jsonNumber(f, cs.p50Ns);
+        std::fputs(", \"p99_ns\": ", f);
+        jsonNumber(f, cs.p99Ns);
+        std::fputs(", \"p999_ns\": ", f);
+        jsonNumber(f, cs.p999Ns);
+        std::fputs("}", f);
+    }
+
+    std::fputs("],\n  \"per_node\": [", f);
+    for (std::size_t n = 0; n < st.perNode.size(); ++n) {
+        const core::NodeStats &ns = st.perNode[n];
+        std::fprintf(f,
+                     "%s\n    {\"node\": %u, \"failed\": %s, "
+                     "\"served\": ",
+                     n == 0 ? "" : ",", ns.nodeId,
+                     ns.failed ? "true" : "false");
+        jsonUint(f, ns.served);
+        std::fputs(", \"achieved_rps\": ", f);
+        jsonNumber(f, ns.achievedRps);
+        std::fputs(", \"mean_ns\": ", f);
+        jsonNumber(f, ns.meanNs);
+        std::fputs(", \"p50_ns\": ", f);
+        jsonNumber(f, ns.p50Ns);
+        std::fputs(", \"p99_ns\": ", f);
+        jsonNumber(f, ns.p99Ns);
+        std::fputs("}", f);
+    }
+
+    std::fputs("],\n  \"slo\": [", f);
+    for (std::size_t s = 0; s < res.slos.size(); ++s) {
+        const SloOutcome &so = res.slos[s];
+        std::fprintf(f, "%s\n    {\"class\": \"%s\", \"bound_ns\": ",
+                     s == 0 ? "" : ",",
+                     jsonEscape(so.className).c_str());
+        jsonNumber(f, so.boundNs);
+        std::fputs(", \"p99_ns\": ", f);
+        jsonNumber(f, so.p99Ns);
+        std::fprintf(f, ", \"found\": %s, \"met\": %s}",
+                     so.classFound ? "true" : "false",
+                     so.met ? "true" : "false");
+    }
+    std::fputs("]\n}\n", f);
+    std::fclose(f);
+}
+
+void
+writeSummaryJson(const std::string &path, const ScenarioResult &result,
+                 const std::string &timestamp)
+{
+    std::FILE *f = openOrDie(path);
+    const Scenario &scn = result.scenario;
+    std::fprintf(f,
+                 "{\n  \"scenario\": \"%s\",\n  \"source\": \"%s\",\n"
+                 "  ",
+                 jsonEscape(scn.name).c_str(),
+                 jsonEscape(scn.source).c_str());
+    writeMeta(f, timestamp);
+    std::fprintf(f, ",\n  \"points\": %zu,\n  \"slos_met\": %s,\n",
+                 result.points.size(),
+                 result.slosMet ? "true" : "false");
+    std::fputs("  \"results\": [", f);
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const PointResult &res = result.points[i];
+        bool point_slos_met = true;
+        for (const SloOutcome &so : res.slos)
+            point_slos_met = point_slos_met && so.met;
+        std::fprintf(f, "%s\n    {\"point\": %zu, ", i == 0 ? "" : ",",
+                     res.point.index);
+        writeAxes(f, res.point);
+        std::fputs(", \"offered_rps\": ", f);
+        jsonNumber(f, res.stats.point.offeredRps);
+        std::fputs(", \"achieved_rps\": ", f);
+        jsonNumber(f, res.stats.point.achievedRps);
+        std::fputs(", \"p99_ns\": ", f);
+        jsonNumber(f, res.stats.point.p99Ns);
+        std::fputs(", \"completions\": ", f);
+        jsonUint(f, res.stats.completions);
+        std::fprintf(f, ", \"slos_met\": %s}",
+                     point_slos_met ? "true" : "false");
+    }
+    std::fputs("]\n}\n", f);
+    std::fclose(f);
+}
+
+/** RunStats -> metrics bridge: one label set per matrix point. */
+void
+appendPointMetrics(stats::MetricsExporter &mx, const Scenario &scn,
+                   const PointResult &res)
+{
+    const ScenarioPoint &pt = res.point;
+    const core::RunStats &st = res.stats;
+    const stats::MetricsExporter::Labels base{
+        {"scenario", scn.name},
+        {"point", sim::strfmt("%zu", pt.index)},
+        {"workload", pt.workload},
+        {"policy", pt.policy},
+        {"arrival", pt.arrival},
+        {"router", pt.router},
+        {"nodes", sim::strfmt("%u", pt.nodes)},
+    };
+
+    mx.gauge("rpcvalet_offered_rps",
+             "Offered aggregate arrival rate, requests per second.",
+             st.point.offeredRps, base);
+    mx.gauge("rpcvalet_achieved_rps",
+             "Achieved completion throughput, requests per second.",
+             st.point.achievedRps, base);
+    mx.summary(
+        "rpcvalet_latency_ns",
+        "End-to-end latency of latency-critical RPCs, nanoseconds.",
+        {{0.5, st.point.p50Ns}, {0.9, st.point.p90Ns},
+         {0.99, st.point.p99Ns}},
+        st.point.meanNs * static_cast<double>(st.point.samples),
+        st.point.samples, base);
+    mx.counter("rpcvalet_completions_total",
+               "Completed RPCs, warmup included.",
+               static_cast<double>(st.completions), base);
+    mx.counter("rpcvalet_nested_rpcs_total",
+               "Nested RPCs issued by chained handlers.",
+               static_cast<double>(st.nestedRpcsSent), base);
+    mx.counter("rpcvalet_chains_completed_total",
+               "Nested-RPC chain groups fully completed.",
+               static_cast<double>(st.chainsCompleted), base);
+    mx.counter("rpcvalet_request_timeouts_total",
+               "Requests that exceeded the cluster request timeout.",
+               static_cast<double>(st.requestTimeouts), base);
+    mx.counter("rpcvalet_failover_reroutes_total",
+               "Requests re-dispatched after a timeout or mark-down.",
+               static_cast<double>(st.failoverReroutes), base);
+
+    for (const core::ClassStats &cs : st.perClass) {
+        stats::MetricsExporter::Labels labels = base;
+        labels.emplace_back("class", cs.name);
+        mx.summary("rpcvalet_class_latency_ns",
+                   "Per-request-class latency, nanoseconds.",
+                   {{0.5, cs.p50Ns}, {0.99, cs.p99Ns},
+                    {0.999, cs.p999Ns}},
+                   cs.meanNs * static_cast<double>(cs.completions),
+                   cs.completions, labels);
+    }
+
+    for (const SloOutcome &so : res.slos) {
+        stats::MetricsExporter::Labels labels = base;
+        labels.emplace_back("class", so.className);
+        mx.gauge("rpcvalet_slo_met",
+                 "1 when the class's measured p99 is within its "
+                 "declared bound, else 0.",
+                 so.met ? 1.0 : 0.0, labels);
+    }
+}
+
+std::vector<SloOutcome>
+evaluateSlos(const Scenario &scn, const core::RunStats &st)
+{
+    std::vector<SloOutcome> out;
+    out.reserve(scn.slos.size());
+    for (const SloBound &bound : scn.slos) {
+        SloOutcome so;
+        so.className = bound.className;
+        so.boundNs = bound.boundNs;
+        for (const core::ClassStats &cs : st.perClass) {
+            if (cs.name != bound.className)
+                continue;
+            so.classFound = true;
+            so.p99Ns = cs.p99Ns;
+            so.met = cs.p99Ns <= bound.boundNs;
+            break;
+        }
+        out.push_back(std::move(so));
+    }
+    return out;
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const Scenario &scn)
+{
+    const std::vector<ScenarioPoint> points = expandMatrix(scn);
+    RV_ASSERT(!points.empty(), "scenario expanded to an empty matrix");
+
+    ScenarioResult result;
+    result.scenario = scn;
+    result.points.resize(points.size());
+
+    // Points are independent simulations; the worker pool mirrors
+    // core::runSweep. Results land by index, so output order (and
+    // content) is identical regardless of thread count.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            PointResult res;
+            res.point = points[i];
+            res.stats = core::runExperiment(points[i].config);
+            res.slos = evaluateSlos(scn, res.stats);
+            result.points[i] = std::move(res);
+        }
+    };
+    if (scn.threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < scn.threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (const PointResult &res : result.points) {
+        for (const SloOutcome &so : res.slos)
+            result.slosMet = result.slosMet && so.met;
+    }
+    return result;
+}
+
+std::vector<std::string>
+writeScenarioOutputs(const ScenarioResult &result)
+{
+    const Scenario &scn = result.scenario;
+    std::vector<std::string> written;
+    if (!scn.writeJson && !scn.writePrometheus)
+        return written;
+
+    std::error_code ec;
+    std::filesystem::create_directories(scn.outputDir, ec);
+    if (ec) {
+        sim::fatal(sim::strfmt(
+            "scenario output: cannot create directory '%s': %s",
+            scn.outputDir.c_str(), ec.message().c_str()));
+    }
+
+    // One timestamp for the whole run: the artifacts of a scenario
+    // form one consistent set.
+    const std::string timestamp = sim::iso8601UtcNow();
+
+    if (scn.writeJson) {
+        for (const PointResult &res : result.points) {
+            const std::string path = sim::strfmt(
+                "%s/point_%03zu.json", scn.outputDir.c_str(),
+                res.point.index);
+            writePointJson(path, scn, res, timestamp);
+            written.push_back(path);
+        }
+        const std::string summary = scn.outputDir + "/summary.json";
+        writeSummaryJson(summary, result, timestamp);
+        written.push_back(summary);
+    }
+
+    if (scn.writePrometheus) {
+        stats::MetricsExporter mx;
+        for (const PointResult &res : result.points)
+            appendPointMetrics(mx, scn, res);
+        const std::string path = scn.outputDir + "/metrics.prom";
+        mx.writeFile(path);
+        written.push_back(path);
+    }
+    return written;
+}
+
+} // namespace rpcvalet::scenario

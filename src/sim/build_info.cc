@@ -1,0 +1,34 @@
+#include "sim/build_info.hh"
+
+#include <ctime>
+
+// Compile definitions for this translation unit only (see
+// src/CMakeLists.txt). The fallbacks keep non-CMake builds compiling.
+#ifndef RPCVALET_BUILD_TYPE
+#define RPCVALET_BUILD_TYPE "unknown"
+#endif
+#ifndef RPCVALET_GIT_SHA
+#define RPCVALET_GIT_SHA "unknown"
+#endif
+
+namespace rpcvalet::sim {
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info{RPCVALET_BUILD_TYPE, RPCVALET_GIT_SHA};
+    return info;
+}
+
+std::string
+iso8601UtcNow()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buf;
+}
+
+} // namespace rpcvalet::sim

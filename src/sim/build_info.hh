@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Build-provenance stamp for machine-readable result files.
+ *
+ * Every perf artifact the tree emits (bench --json reports, scenario
+ * runner outputs) carries the build type, the git SHA the tree was
+ * configured from, and an ISO-8601 run timestamp, so a BENCH_*.json
+ * downloaded months later is traceable to the commit and configuration
+ * that produced it. The build type and SHA are burned in at configure
+ * time (src/CMakeLists.txt passes them as compile definitions to
+ * build_info.cc only); a tree built outside git reports "unknown".
+ */
+
+#ifndef RPCVALET_SIM_BUILD_INFO_HH
+#define RPCVALET_SIM_BUILD_INFO_HH
+
+#include <string>
+
+namespace rpcvalet::sim {
+
+/** Configure-time build provenance. */
+struct BuildInfo
+{
+    /** CMAKE_BUILD_TYPE of this binary ("Release", ...). */
+    const char *buildType;
+    /** Short git SHA of the configured tree, or "unknown". */
+    const char *gitSha;
+};
+
+/** The provenance burned into this binary. */
+const BuildInfo &buildInfo();
+
+/** Current wall-clock time as ISO-8601 UTC ("2026-02-14T09:31:07Z"). */
+std::string iso8601UtcNow();
+
+} // namespace rpcvalet::sim
+
+#endif // RPCVALET_SIM_BUILD_INFO_HH

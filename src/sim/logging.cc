@@ -2,9 +2,44 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 namespace rpcvalet::sim {
+
+namespace {
+
+/** Per-thread stack of live ErrorContext descriptions. */
+std::vector<std::string> &
+contextStack()
+{
+    thread_local std::vector<std::string> stack;
+    return stack;
+}
+
+} // namespace
+
+ErrorContext::ErrorContext(std::string description)
+{
+    contextStack().push_back(std::move(description));
+}
+
+ErrorContext::~ErrorContext()
+{
+    contextStack().pop_back();
+}
+
+std::string
+ErrorContext::current()
+{
+    std::string joined;
+    for (const std::string &frame : contextStack()) {
+        if (!joined.empty())
+            joined += ": ";
+        joined += frame;
+    }
+    return joined;
+}
 
 std::string
 strfmt(const char *fmt, ...)
@@ -35,7 +70,12 @@ panic(const std::string &msg)
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    const std::string context = ErrorContext::current();
+    if (context.empty())
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    else
+        std::fprintf(stderr, "fatal: %s: %s\n", context.c_str(),
+                     msg.c_str());
     std::exit(1);
 }
 

@@ -22,8 +22,35 @@ std::string strfmt(const char *fmt, ...)
 /** Report an internal simulator bug and abort. */
 [[noreturn]] void panic(const std::string &msg);
 
-/** Report a user/configuration error and exit(1). */
+/**
+ * Report a user/configuration error and exit(1). When ErrorContext
+ * frames are active on this thread, their descriptions prefix the
+ * message (outermost first), so an error raised deep inside a registry
+ * factory still names the config-file location that caused it.
+ */
 [[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * RAII frame naming where the current work came from, prefixed onto
+ * any fatal() raised while the frame is live. The scenario parser
+ * pushes "file.scn:12 (policy = jbsq:dd=2)" before handing the value
+ * to a registry, so the registry's diagnostic — which only knows the
+ * bad spec — gains the file:line and offending token config-file users
+ * need. Frames nest (outermost printed first) and are thread-local, so
+ * threaded sweeps cannot interleave contexts.
+ */
+class ErrorContext
+{
+  public:
+    explicit ErrorContext(std::string description);
+    ~ErrorContext();
+
+    ErrorContext(const ErrorContext &) = delete;
+    ErrorContext &operator=(const ErrorContext &) = delete;
+
+    /** Active frames joined with ": " (empty when none are live). */
+    static std::string current();
+};
 
 /** Report a recoverable oddity to stderr. */
 void warn(const std::string &msg);

@@ -1,0 +1,209 @@
+#include "stats/metrics.hh"
+
+#include <cmath>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::stats {
+
+namespace {
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+        if (alpha)
+            continue;
+        if (i > 0 && c >= '0' && c <= '9')
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+validLabelName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') || c == '_';
+        if (alpha)
+            continue;
+        if (i > 0 && c >= '0' && c <= '9')
+            continue;
+        return false;
+    }
+    return true;
+}
+
+/** Escape a label value per the exposition format. */
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Prometheus value rendering (Inf/NaN spelled the Go way). */
+std::string
+formatValue(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0.0 ? "+Inf" : "-Inf";
+    return sim::strfmt("%.17g", value);
+}
+
+void
+checkLabels(const MetricsExporter::Labels &labels)
+{
+    for (const auto &[name, value] : labels) {
+        (void)value;
+        if (!validLabelName(name)) {
+            sim::fatal(sim::strfmt(
+                "metrics: invalid label name '%s'", name.c_str()));
+        }
+    }
+}
+
+} // namespace
+
+MetricsExporter::Family &
+MetricsExporter::family(const std::string &name, const std::string &help,
+                        const char *type)
+{
+    if (!validMetricName(name)) {
+        sim::fatal(sim::strfmt("metrics: invalid metric name '%s'",
+                               name.c_str()));
+    }
+    for (Family &f : families_) {
+        if (f.name != name)
+            continue;
+        if (std::string(f.type) != type) {
+            sim::fatal(sim::strfmt(
+                "metrics: '%s' registered as both %s and %s",
+                name.c_str(), f.type, type));
+        }
+        return f;
+    }
+    families_.push_back(Family{name, help, type, {}});
+    return families_.back();
+}
+
+void
+MetricsExporter::counter(const std::string &name, const std::string &help,
+                         double value, const Labels &labels)
+{
+    if (value < 0.0) {
+        sim::fatal(sim::strfmt(
+            "metrics: counter '%s' must be non-negative (got %g)",
+            name.c_str(), value));
+    }
+    checkLabels(labels);
+    family(name, help, "counter").samples.push_back(
+        Sample{labels, value, ""});
+}
+
+void
+MetricsExporter::gauge(const std::string &name, const std::string &help,
+                       double value, const Labels &labels)
+{
+    checkLabels(labels);
+    family(name, help, "gauge").samples.push_back(
+        Sample{labels, value, ""});
+}
+
+void
+MetricsExporter::summary(
+    const std::string &name, const std::string &help,
+    const std::vector<std::pair<double, double>> &quantiles, double sum,
+    std::uint64_t count, const Labels &labels)
+{
+    checkLabels(labels);
+    Family &f = family(name, help, "summary");
+    for (const auto &[q, v] : quantiles) {
+        if (q < 0.0 || q > 1.0) {
+            sim::fatal(sim::strfmt(
+                "metrics: summary '%s' quantile %g outside [0, 1]",
+                name.c_str(), q));
+        }
+        Labels with_q = labels;
+        with_q.emplace_back("quantile", sim::strfmt("%g", q));
+        f.samples.push_back(Sample{std::move(with_q), v, ""});
+    }
+    f.samples.push_back(Sample{labels, sum, "_sum"});
+    f.samples.push_back(
+        Sample{labels, static_cast<double>(count), "_count"});
+}
+
+std::string
+MetricsExporter::render() const
+{
+    std::string out;
+    for (const Family &f : families_) {
+        out += "# HELP " + f.name + " " + f.help + "\n";
+        out += "# TYPE " + f.name + " ";
+        out += f.type;
+        out += "\n";
+        for (const Sample &s : f.samples) {
+            out += f.name + s.suffix;
+            if (!s.labels.empty()) {
+                out += "{";
+                bool first = true;
+                for (const auto &[ln, lv] : s.labels) {
+                    if (!first)
+                        out += ",";
+                    first = false;
+                    out += ln + "=\"" + escapeLabelValue(lv) + "\"";
+                }
+                out += "}";
+            }
+            out += " " + formatValue(s.value) + "\n";
+        }
+    }
+    return out;
+}
+
+void
+MetricsExporter::writeFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        sim::fatal(sim::strfmt("metrics: cannot open '%s' for writing",
+                               path.c_str()));
+    }
+    f << render();
+    f.flush();
+    if (!f) {
+        sim::fatal(
+            sim::strfmt("metrics: write to '%s' failed", path.c_str()));
+    }
+}
+
+} // namespace rpcvalet::stats

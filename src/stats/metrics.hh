@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Prometheus text-exposition rendering for run statistics.
+ *
+ * The scenario runner (src/scenario) publishes every experiment
+ * point's results as a `.prom` file so runs can feed dashboards and
+ * CI artifact diffing without bespoke parsers. This class is the
+ * format layer only: callers register counter/gauge/summary samples
+ * (with optional label pairs) and render() emits the exposition text —
+ * one `# HELP` / `# TYPE` header per metric family, then each sample
+ * as `name{label="value",...} value`. Families render in registration
+ * order; samples within a family in registration order, so output is
+ * deterministic and diff-friendly.
+ */
+
+#ifndef RPCVALET_STATS_METRICS_HH
+#define RPCVALET_STATS_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpcvalet::stats {
+
+/** Accumulates metric samples and renders Prometheus text format. */
+class MetricsExporter
+{
+  public:
+    /** Label pairs attached to one sample, rendered in order. */
+    using Labels = std::vector<std::pair<std::string, std::string>>;
+
+    /** Add a counter sample (monotone total; must be >= 0). */
+    void counter(const std::string &name, const std::string &help,
+                 double value, const Labels &labels = {});
+
+    /** Add a gauge sample (point-in-time value). */
+    void gauge(const std::string &name, const std::string &help,
+               double value, const Labels &labels = {});
+
+    /**
+     * Add a summary: one `name{quantile="q"}` series per (quantile,
+     * value) pair plus the `name_sum` / `name_count` samples. @p
+     * labels are prepended to each series' label set.
+     */
+    void summary(const std::string &name, const std::string &help,
+                 const std::vector<std::pair<double, double>> &quantiles,
+                 double sum, std::uint64_t count,
+                 const Labels &labels = {});
+
+    /** The full exposition text. */
+    std::string render() const;
+
+    /** Write render() to @p path; fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    struct Sample
+    {
+        Labels labels;
+        double value = 0.0;
+        /** Suffix appended to the family name ("", "_sum", ...). */
+        std::string suffix;
+    };
+
+    struct Family
+    {
+        std::string name;
+        std::string help;
+        const char *type = "gauge";
+        std::vector<Sample> samples;
+    };
+
+    /** Find-or-create @p name; re-registering with a different type
+     *  is fatal (HELP text comes from the first registration). */
+    Family &family(const std::string &name, const std::string &help,
+                   const char *type);
+
+    std::vector<Family> families_;
+};
+
+} // namespace rpcvalet::stats
+
+#endif // RPCVALET_STATS_METRICS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sanity tests for the build-provenance stamp (sim/build_info.hh)
+ * that benches and the scenario runner burn into their result files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "sim/build_info.hh"
+
+namespace {
+
+using namespace rpcvalet;
+
+TEST(BuildInfo, StampFieldsAreNonEmpty)
+{
+    const sim::BuildInfo &bi = sim::buildInfo();
+    EXPECT_NE(bi.buildType, nullptr);
+    EXPECT_NE(bi.gitSha, nullptr);
+    EXPECT_GT(std::string(bi.buildType).size(), 0u);
+    EXPECT_GT(std::string(bi.gitSha).size(), 0u);
+}
+
+TEST(BuildInfo, TimestampIsIso8601Utc)
+{
+    const std::string ts = sim::iso8601UtcNow();
+    // "2026-02-14T09:31:07Z"
+    ASSERT_EQ(ts.size(), 20u);
+    for (const std::size_t digit : {0, 1, 2, 3, 5, 6, 8, 9, 11, 12,
+                                    14, 15, 17, 18}) {
+        EXPECT_TRUE(
+            std::isdigit(static_cast<unsigned char>(ts[digit])))
+            << ts;
+    }
+    EXPECT_EQ(ts[4], '-');
+    EXPECT_EQ(ts[7], '-');
+    EXPECT_EQ(ts[10], 'T');
+    EXPECT_EQ(ts[13], ':');
+    EXPECT_EQ(ts[16], ':');
+    EXPECT_EQ(ts[19], 'Z');
+}
+
+} // namespace

@@ -52,4 +52,34 @@ TEST(Logging, StrfmtEmptyAndPlainStrings)
     EXPECT_EQ(sim::strfmt("no placeholders"), "no placeholders");
 }
 
+TEST(Logging, ErrorContextFramesNestAndUnwind)
+{
+    EXPECT_EQ(sim::ErrorContext::current(), "");
+    {
+        sim::ErrorContext outer("file.scn:3 (policy = jbqs)");
+        EXPECT_EQ(sim::ErrorContext::current(),
+                  "file.scn:3 (policy = jbqs)");
+        {
+            sim::ErrorContext inner("registry lookup");
+            EXPECT_EQ(sim::ErrorContext::current(),
+                      "file.scn:3 (policy = jbqs): registry lookup");
+        }
+        EXPECT_EQ(sim::ErrorContext::current(),
+                  "file.scn:3 (policy = jbqs)");
+    }
+    EXPECT_EQ(sim::ErrorContext::current(), "");
+}
+
+TEST(LoggingDeathTest, FatalCarriesActiveErrorContext)
+{
+    EXPECT_EXIT(
+        {
+            sim::ErrorContext ctx("cfg.scn:7 (arrival = posion)");
+            sim::fatal("unknown arrival process");
+        },
+        ::testing::ExitedWithCode(1),
+        "fatal: cfg\\.scn:7 \\(arrival = posion\\): unknown arrival "
+        "process");
+}
+
 } // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for stats::MetricsExporter, the Prometheus
+ * text-exposition layer behind the scenario runner's metrics.prom
+ * artifact: exact rendering of counters/gauges/summaries, label-value
+ * escaping, deterministic ordering, and the fatal validation paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "stats/metrics.hh"
+
+namespace {
+
+using namespace rpcvalet;
+using stats::MetricsExporter;
+
+TEST(Metrics, CounterAndGaugeRenderExactText)
+{
+    MetricsExporter mx;
+    mx.counter("rpc_total", "Completed RPCs.", 42.0,
+               {{"policy", "greedy"}});
+    mx.gauge("offered_rps", "Offered load.", 1.5e6);
+    EXPECT_EQ(mx.render(),
+              "# HELP rpc_total Completed RPCs.\n"
+              "# TYPE rpc_total counter\n"
+              "rpc_total{policy=\"greedy\"} 42\n"
+              "# HELP offered_rps Offered load.\n"
+              "# TYPE offered_rps gauge\n"
+              "offered_rps 1500000\n");
+}
+
+TEST(Metrics, SamplesOfOneFamilyGroupUnderOneHeader)
+{
+    MetricsExporter mx;
+    mx.gauge("g", "help one", 1.0, {{"node", "0"}});
+    mx.gauge("g", "ignored later help", 2.0, {{"node", "1"}});
+    EXPECT_EQ(mx.render(), "# HELP g help one\n"
+                           "# TYPE g gauge\n"
+                           "g{node=\"0\"} 1\n"
+                           "g{node=\"1\"} 2\n");
+}
+
+TEST(Metrics, SummaryEmitsQuantileSeriesPlusSumAndCount)
+{
+    MetricsExporter mx;
+    mx.summary("lat_ns", "Latency.", {{0.5, 100.0}, {0.99, 250.0}},
+               12345.0, 100, {{"w", "herd"}});
+    EXPECT_EQ(mx.render(),
+              "# HELP lat_ns Latency.\n"
+              "# TYPE lat_ns summary\n"
+              "lat_ns{w=\"herd\",quantile=\"0.5\"} 100\n"
+              "lat_ns{w=\"herd\",quantile=\"0.99\"} 250\n"
+              "lat_ns_sum{w=\"herd\"} 12345\n"
+              "lat_ns_count{w=\"herd\"} 100\n");
+}
+
+TEST(Metrics, LabelValuesAreEscaped)
+{
+    MetricsExporter mx;
+    mx.gauge("g", "h", 1.0, {{"spec", "a\"b\\c\nd"}});
+    EXPECT_EQ(mx.render(), "# HELP g h\n"
+                           "# TYPE g gauge\n"
+                           "g{spec=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+TEST(Metrics, NonFiniteValuesSpelledThePrometheusWay)
+{
+    MetricsExporter mx;
+    mx.gauge("g", "h", std::numeric_limits<double>::infinity());
+    mx.gauge("g", "h", -std::numeric_limits<double>::infinity());
+    mx.gauge("g", "h", std::numeric_limits<double>::quiet_NaN());
+    const std::string out = mx.render();
+    EXPECT_NE(out.find("g +Inf\n"), std::string::npos);
+    EXPECT_NE(out.find("g -Inf\n"), std::string::npos);
+    EXPECT_NE(out.find("g NaN\n"), std::string::npos);
+}
+
+TEST(Metrics, ValuesRoundTripAtFullPrecision)
+{
+    MetricsExporter mx;
+    mx.gauge("g", "h", 1089.0199999999999);
+    const std::string out = mx.render();
+    const double parsed = std::strtod(
+        out.c_str() + out.rfind(' '), nullptr);
+    EXPECT_EQ(parsed, 1089.0199999999999);
+}
+
+TEST(Metrics, WriteFileMatchesRender)
+{
+    MetricsExporter mx;
+    mx.counter("c", "h", 7.0);
+    const std::string path =
+        ::testing::TempDir() + "/metrics_test.prom";
+    mx.writeFile(path);
+    std::ifstream f(path);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    EXPECT_EQ(buf.str(), mx.render());
+    std::remove(path.c_str());
+}
+
+TEST(MetricsDeath, TypeConflictIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            MetricsExporter mx;
+            mx.counter("m", "h", 1.0);
+            mx.gauge("m", "h", 1.0);
+        },
+        ::testing::ExitedWithCode(1),
+        "'m' registered as both counter and gauge");
+}
+
+TEST(MetricsDeath, NegativeCounterIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            MetricsExporter mx;
+            mx.counter("m", "h", -1.0);
+        },
+        ::testing::ExitedWithCode(1),
+        "counter 'm' must be non-negative");
+}
+
+TEST(MetricsDeath, InvalidNamesAreFatal)
+{
+    EXPECT_EXIT(
+        {
+            MetricsExporter mx;
+            mx.gauge("9starts_with_digit", "h", 1.0);
+        },
+        ::testing::ExitedWithCode(1), "invalid metric name");
+    EXPECT_EXIT(
+        {
+            MetricsExporter mx;
+            mx.gauge("g", "h", 1.0, {{"bad-label", "v"}});
+        },
+        ::testing::ExitedWithCode(1), "invalid label name");
+}
+
+TEST(MetricsDeath, QuantileOutsideUnitIntervalIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            MetricsExporter mx;
+            mx.summary("s", "h", {{1.5, 1.0}}, 0.0, 0);
+        },
+        ::testing::ExitedWithCode(1), "quantile 1.5 outside");
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * rpcvalet_run: execute declarative scenario files.
+ *
+ *   rpcvalet_run [options] <scenario.scn> [<more.scn> ...]
+ *
+ * Each scenario file (grammar: src/scenario/scenario.hh, worked
+ * examples: examples/scenarios/) expands into an experiment matrix;
+ * every point runs to completion and the results land in the
+ * scenario's output directory as per-point JSON, a summary.json with
+ * build/git/timestamp provenance, and a Prometheus metrics file.
+ *
+ * Options:
+ *   --out=DIR      override the scenario's [output] dir
+ *   --threads=N    override the scenario's [sweep] threads
+ *   --dry-run      parse and expand only; print the matrix, run nothing
+ *   --quiet        suppress the per-point progress table
+ *   --strict-slo   exit 1 when any declared SLO is unmet
+ *   --version      print build provenance and exit
+ *
+ * Exit status: 0 on success, 1 on usage errors or (with --strict-slo)
+ * unmet SLOs. Parse errors are fatal with file:line diagnostics.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hh"
+#include "scenario/scenario.hh"
+#include "sim/build_info.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace rpcvalet;
+
+void
+usage(std::FILE *f)
+{
+    std::fputs(
+        "usage: rpcvalet_run [options] <scenario.scn> [<more.scn> ...]\n"
+        "  --out=DIR      override the scenario's [output] dir\n"
+        "  --threads=N    override the scenario's [sweep] threads\n"
+        "  --dry-run      expand and print the matrix, run nothing\n"
+        "  --quiet        suppress the per-point progress table\n"
+        "  --strict-slo   exit 1 when any declared SLO is unmet\n"
+        "  --version      print build provenance and exit\n",
+        f);
+}
+
+struct Options
+{
+    std::string outDir;
+    unsigned threads = 0;
+    bool dryRun = false;
+    bool quiet = false;
+    bool strictSlo = false;
+    std::vector<std::string> files;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(0);
+        } else if (arg == "--version") {
+            const sim::BuildInfo &bi = sim::buildInfo();
+            std::printf("rpcvalet_run %s (%s)\n", bi.gitSha,
+                        bi.buildType);
+            std::exit(0);
+        } else if (arg.rfind("--out=", 0) == 0) {
+            opt.outDir = arg.substr(6);
+            if (opt.outDir.empty())
+                sim::fatal("--out needs a directory");
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            const long n = std::strtol(arg.c_str() + 10, nullptr, 10);
+            if (n < 1 || n > 1024)
+                sim::fatal("--threads must be in [1, 1024]");
+            opt.threads = static_cast<unsigned>(n);
+        } else if (arg == "--dry-run") {
+            opt.dryRun = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--strict-slo") {
+            opt.strictSlo = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(stderr);
+            std::exit(1);
+        } else {
+            opt.files.push_back(arg);
+        }
+    }
+    if (opt.files.empty()) {
+        usage(stderr);
+        std::exit(1);
+    }
+    return opt;
+}
+
+void
+printPoint(const scenario::PointResult &res)
+{
+    const scenario::ScenarioPoint &pt = res.point;
+    const core::RunStats &st = res.stats;
+    std::printf("  [%3zu] %-28s %-14s n=%-2u %9.0f rps  "
+                "p99 %8.0f ns",
+                pt.index, pt.workload.c_str(), pt.policy.c_str(),
+                pt.nodes, st.point.offeredRps, st.point.p99Ns);
+    for (const scenario::SloOutcome &so : res.slos) {
+        std::printf("  %s:%s", so.className.c_str(),
+                    so.met ? "ok" : "MISS");
+    }
+    std::printf("\n");
+}
+
+/** Run one scenario file end to end; returns whether its SLOs held. */
+bool
+runOne(const std::string &path, const Options &opt)
+{
+    scenario::Scenario scn = scenario::parseScenarioFile(path);
+    if (!opt.outDir.empty())
+        scn.outputDir = opt.outDir;
+    if (opt.threads != 0)
+        scn.threads = opt.threads;
+
+    const std::vector<scenario::ScenarioPoint> matrix =
+        scenario::expandMatrix(scn);
+    if (!opt.quiet) {
+        std::printf("%s: %zu point%s -> %s\n", scn.name.c_str(),
+                    matrix.size(), matrix.size() == 1 ? "" : "s",
+                    scn.outputDir.c_str());
+    }
+    if (opt.dryRun) {
+        for (const scenario::ScenarioPoint &pt : matrix) {
+            std::printf("  [%3zu] workload=%s policy=%s arrival=%s "
+                        "router=%s nodes=%u rps=%.0f\n",
+                        pt.index, pt.workload.c_str(),
+                        pt.policy.c_str(), pt.arrival.c_str(),
+                        pt.router.c_str(), pt.nodes,
+                        pt.config.arrivalRps);
+        }
+        return true;
+    }
+
+    const scenario::ScenarioResult result = scenario::runScenario(scn);
+    if (!opt.quiet) {
+        for (const scenario::PointResult &res : result.points)
+            printPoint(res);
+    }
+    const std::vector<std::string> written =
+        scenario::writeScenarioOutputs(result);
+    if (!opt.quiet) {
+        for (const std::string &w : written)
+            std::printf("  wrote %s\n", w.c_str());
+        if (!scn.slos.empty()) {
+            std::printf("  SLOs %s\n",
+                        result.slosMet ? "met on every point"
+                                       : "MISSED (see summary.json)");
+        }
+    }
+    return result.slosMet;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    bool slos_met = true;
+    for (const std::string &path : opt.files)
+        slos_met = runOne(path, opt) && slos_met;
+    return (opt.strictSlo && !slos_met) ? 1 : 0;
+}
