@@ -166,7 +166,8 @@ writeJsonReport()
                  "\"warmup\": %llu, \"seed\": %llu, \"fast\": %s, "
                  "\"policy\": \"%s\", \"arrival\": \"%s\", "
                  "\"workload\": \"%s\", \"mode\": \"%s\", "
-                 "\"nodes\": %u, \"router\": \"%s\"},\n",
+                 "\"nodes\": %u, \"router\": \"%s\", "
+                 "\"parallel_domains\": %u},\n",
                  r.args.points,
                  static_cast<unsigned long long>(r.args.rpcs),
                  static_cast<unsigned long long>(r.args.warmup),
@@ -176,7 +177,8 @@ writeJsonReport()
                  jsonEscape(r.args.arrival).c_str(),
                  jsonEscape(r.args.workload).c_str(),
                  jsonEscape(r.args.mode).c_str(),
-                 r.args.nodes, jsonEscape(r.args.router).c_str());
+                 r.args.nodes, jsonEscape(r.args.router).c_str(),
+                 r.args.parallelDomains);
     std::fputs("  \"series\": [", f);
     for (std::size_t i = 0; i < r.series.size(); ++i) {
         const auto &entry = r.series[i];
@@ -319,6 +321,16 @@ parseArgs(int argc, char **argv)
                            ": expected an integer in [1, 64]");
             }
             args.nodes = static_cast<std::uint32_t>(parsed);
+        } else if (const char *domains = value("--parallel-domains=")) {
+            char *end = nullptr;
+            const long parsed = std::strtol(domains, &end, 10);
+            if (end == domains || *end != '\0' || parsed < 0 ||
+                parsed > 1024) {
+                sim::fatal("--parallel-domains=" +
+                           std::string(domains) +
+                           ": expected an integer in [0, 1024]");
+            }
+            args.parallelDomains = static_cast<unsigned>(parsed);
         } else if (const char *router = value("--router="))
             args.router = router;
         else if (const char *policy = value("--policy="))
@@ -440,6 +452,8 @@ applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg)
     applyArrivalOverride(args, cfg);
     applyWorkloadOverride(args, cfg);
     applyClusterOverride(args, cfg);
+    if (args.parallelDomains > 0)
+        cfg.parallelDomains = args.parallelDomains;
 }
 
 void
@@ -597,15 +611,31 @@ makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
     return sweep;
 }
 
-core::SweepConfig
-makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
-          core::AppFactory factory, const std::string &label,
-          double capacity_rps, double lo_util, double hi_util)
+void
+recordParallelPerf(const std::vector<unsigned> &workers,
+                   const std::vector<double> &eventsPerSec)
 {
-    core::SweepConfig sweep =
-        makeSweep(args, base, label, capacity_rps, lo_util, hi_util);
-    sweep.appFactory = std::move(factory);
-    return sweep;
+    RV_ASSERT(workers.size() == eventsPerSec.size() &&
+                  !workers.empty(),
+              "recordParallelPerf needs one rate per worker count");
+    stats::Series series;
+    series.label = "events_per_sec_parallel";
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        stats::LoadPoint pt;
+        pt.offeredRps = static_cast<double>(workers[i]);
+        pt.achievedRps = eventsPerSec[i];
+        series.points.push_back(pt);
+        std::printf("[perf] %u domain worker%s: %.3g events/s%s\n",
+                    workers[i], workers[i] == 1 ? "" : "s",
+                    eventsPerSec[i],
+                    i > 0 && eventsPerSec[0] > 0.0
+                        ? sim::strfmt(" (%.2fx vs 1 worker)",
+                                      eventsPerSec[i] /
+                                          eventsPerSec[0])
+                              .c_str()
+                        : "");
+    }
+    recordJsonSeries(series);
 }
 
 } // namespace rpcvalet::bench

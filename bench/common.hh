@@ -49,6 +49,10 @@
  *                 spec flags above, a run is fully declarative:
  *                 --mode, --policy, --arrival, --workload, --nodes,
  *                 --router.
+ *   --parallel-domains=N  run each experiment's event domains on N
+ *                 workers (conservative PDES); 0 (default) keeps the
+ *                 exact sequential single-wheel path. Applied via
+ *                 applyOverrides like the spec flags.
  *   --json=FILE   write results (series, claims, args, perf) as JSON
  *                 at exit — the machine-readable feed behind CI's
  *                 bench-results artifact and the BENCH_*.json perf
@@ -97,6 +101,9 @@ struct BenchArgs
     std::uint32_t nodes = 0;
     /** Cluster-router spec override; empty = bench default. */
     std::string router;
+    /** Domain workers per experiment (conservative PDES); 0 = the
+     *  sequential single-wheel path. Fatal unless in [0, 1024]. */
+    unsigned parallelDomains = 0;
     /** JSON results path; empty = no JSON output. */
     std::string json;
 };
@@ -216,11 +223,15 @@ makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
           const std::string &label, double capacity_rps, double lo_util,
           double hi_util);
 
-/** Legacy shim of makeSweep with a caller-supplied app factory. */
-core::SweepConfig
-makeSweep(const BenchArgs &args, const core::ExperimentConfig &base,
-          core::AppFactory factory, const std::string &label,
-          double capacity_rps, double lo_util, double hi_util);
+/**
+ * Record a parallel-vs-sequential kernel-throughput measurement for
+ * the --json report's "perf" object: emits an
+ * "events_per_sec_parallel" series (x = domain workers, y = aggregate
+ * events/s) plus the speedup of the widest point over workers = 1.
+ * Also echoed to stdout as a [perf] line.
+ */
+void recordParallelPerf(const std::vector<unsigned> &workers,
+                        const std::vector<double> &eventsPerSec);
 
 } // namespace rpcvalet::bench
 

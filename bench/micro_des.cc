@@ -21,7 +21,6 @@
 #include <vector>
 
 #include "app/hash_table.hh"
-#include "app/herd_app.hh"
 #include "app/skip_list.hh"
 #include "core/experiment.hh"
 #include "sim/distributions.hh"
@@ -253,12 +252,11 @@ BM_EndToEndRpcSimulation(benchmark::State &state)
     // simulator core are visible directly.
     const std::uint64_t events_before = core::totalSimulatedEvents();
     for (auto _ : state) {
-        app::HerdApp app;
         core::ExperimentConfig cfg;
         cfg.arrivalRps = 10e6;
         cfg.warmupRpcs = 100;
         cfg.measuredRpcs = 5000;
-        const auto r = core::runExperiment(cfg, app);
+        const auto r = core::runExperiment(cfg);
         benchmark::DoNotOptimize(r.point.p99Ns);
     }
     state.SetItemsProcessed(state.iterations() * 5100);

@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
+#include <memory>
 #include <utility>
 
 #include "cluster/router.hh"
 #include "cluster/topology.hh"
+#include "core/parallel.hh"
 #include "net/traffic_gen.hh"
 #include "node/rpc_node.hh"
+#include "sim/domain.hh"
 #include "sim/logging.hh"
-#include "sim/simulator.hh"
 
 namespace rpcvalet::core {
 
@@ -72,10 +73,20 @@ checkVerifyFailures(const ExperimentConfig &cfg, const RunStats &out)
 /**
  * The cluster experiment: N server nodes — each a full RpcNode with
  * its own NI dispatch — behind the traffic generator's cluster router,
- * every node attached to the fabric by an explicit connect. The
- * measurement window opens when the cluster as a whole passes the
- * warmup count and closes at the completion target; per-node recorders
- * only run inside the window and are merged into cluster totals.
+ * every node attached to the fabric by an explicit connect.
+ *
+ * With cfg.parallelDomains == 0 everything shares one event wheel and
+ * the measurement window opens/closes on exact cluster-wide completion
+ * counts — the sequential path, bit-identical to previous releases.
+ *
+ * With cfg.parallelDomains >= 1 each server node owns an EventDomain
+ * and the client side owns another; a WindowPool executes fabric-
+ * lookahead windows with barrier mailbox exchanges in between
+ * (conservative parallel DES). Measurement is barrier-quantized: the
+ * window opens at the first barrier where cluster completions reach
+ * the warmup count and closes at the first barrier past the target —
+ * deterministic for every worker count, though not identical to the
+ * sequential path's per-completion windowing.
  */
 RunStats
 runClusterExperiment(const ExperimentConfig &cfg)
@@ -84,10 +95,48 @@ runClusterExperiment(const ExperimentConfig &cfg)
     RV_ASSERT(cfg.arrivalRps > 0.0, "arrival rate must be positive");
     RV_ASSERT(cfg.measuredRpcs > 0, "need at least one measured RPC");
     const std::uint32_t numServers = cfg.cluster.numServerNodes;
+    const bool par = cfg.parallelDomains > 0;
+    const sim::Tick lookahead = cfg.system.fabricLatency;
 
-    sim::Simulator sim;
-    net::Fabric fabric(sim, cfg.system.fabricLatency);
+    // Domain layout: [0] the client/traffic side, [1 .. numServers]
+    // one per server node. Sequential runs put everything on one
+    // wheel, preserving the exact legacy event schedule.
+    std::vector<std::unique_ptr<sim::EventDomain>> domains;
+    if (par) {
+        domains.push_back(
+            std::make_unique<sim::EventDomain>(0, "client"));
+        for (std::uint32_t i = 0; i < numServers; ++i) {
+            domains.push_back(std::make_unique<sim::EventDomain>(
+                i + 1,
+                sim::strfmt("node%u", cfg.system.nodeId + i)));
+        }
+    } else {
+        domains.push_back(std::make_unique<sim::EventDomain>(0, "main"));
+    }
+    std::vector<sim::EventDomain *> domainPtrs;
+    domainPtrs.reserve(domains.size());
+    for (auto &d : domains)
+        domainPtrs.push_back(d.get());
+    sim::EventDomain &clientSim = *domainPtrs.front();
+    const auto serverSim = [&](std::uint32_t i) -> sim::EventDomain & {
+        return par ? *domainPtrs[i + 1] : clientSim;
+    };
 
+    std::unique_ptr<net::Fabric> fabricPtr;
+    if (par) {
+        fabricPtr = std::make_unique<net::Fabric>(
+            domainPtrs, cfg.system.fabricLatency, lookahead);
+    } else {
+        fabricPtr = std::make_unique<net::Fabric>(
+            clientSim, cfg.system.fabricLatency);
+    }
+    net::Fabric &fabric = *fabricPtr;
+
+    // Construction-time registry lookups: every spec (workload,
+    // router, arrival inside the traffic generator) resolves here on
+    // the calling thread, before any domain worker exists — no static
+    // registry is consulted once the run is in flight.
+    //
     // One application instance per server node (independent stores;
     // correctness across replicas comes from the workloads' canonical
     // value verification) plus a client-side instance for request
@@ -107,13 +156,25 @@ runClusterExperiment(const ExperimentConfig &cfg)
         apps.push_back(
             app::WorkloadRegistry::instance().make(cfg.workload));
         nodes.push_back(std::make_unique<node::RpcNode>(
-            sim, sys, *apps.back(), fabric, /*warmup_samples=*/0));
+            serverSim(i), sys, *apps.back(), fabric,
+            /*warmup_samples=*/0));
         // Recorders run only inside the measurement window; the
-        // completion hook below opens it cluster-wide.
+        // completion hook / barrier loop below opens it cluster-wide.
         nodes.back()->setRecording(cfg.warmupRpcs == 0);
+        if (par)
+            fabric.assignNode(sys.nodeId, i + 1);
     }
     const app::RpcApplicationPtr clientApp =
         app::WorkloadRegistry::instance().make(cfg.workload);
+
+    if (par && clientApp->requestsPerArrival() > 1.0) {
+        sim::fatal(sim::strfmt(
+            "workload '%s' issues nested RPC chains, which cross "
+            "domains synchronously and cannot run under "
+            "parallelDomains — use the sequential path "
+            "(parallelDomains = 0)",
+            clientApp->name().c_str()));
+    }
 
     cluster::ShardMap shards(
         cfg.cluster.shards != 0 ? cfg.cluster.shards : numServers,
@@ -130,24 +191,34 @@ runClusterExperiment(const ExperimentConfig &cfg)
     tp.numServers = numServers;
     tp.clientTurnaround = cfg.clientTurnaround;
     tp.requestTimeout = cfg.cluster.requestTimeout;
+    if (par)
+        tp.arrivalBatchWindow = lookahead;
     tp.seed = cfg.system.seed;
-    net::TrafficGenerator tg(sim, tp, cfg.system.domain, *clientApp,
-                             fabric, router.get(), &health, &shards);
+    net::TrafficGenerator tg(clientSim, tp, cfg.system.domain,
+                             *clientApp, fabric, router.get(), &health,
+                             &shards);
 
     // Chained handlers (HandleResult.nested) issue their fan-out
     // through the generator's chain-group machinery. Wiring alone adds
-    // no events; non-nesting workloads stay bit-identical.
-    for (auto &n : nodes) {
-        n->setNestedIssuer(
-            [&tg](std::vector<std::vector<std::uint8_t>> requests,
-                  std::function<void()> done) {
-                tg.issueNested(std::move(requests), std::move(done));
-            });
+    // no events; non-nesting workloads stay bit-identical. Parallel
+    // runs leave it unwired (chained workloads fataled above; a stray
+    // nested request then dies on the node's own missing-issuer check
+    // instead of racing into the client domain).
+    if (!par) {
+        for (auto &n : nodes) {
+            n->setNestedIssuer(
+                [&tg](std::vector<std::vector<std::uint8_t>> requests,
+                      std::function<void()> done) {
+                    tg.issueNested(std::move(requests),
+                                   std::move(done));
+                });
+        }
     }
 
     // Explicit topology wiring: every emulated client node gets its
     // own connect; nothing rides a default sink (a packet to a node
-    // outside the topology is now a hard fabric error).
+    // outside the topology is now a hard fabric error). Client nodes
+    // stay unassigned, which places them on domain 0.
     for (proto::NodeId n = 0; n < cfg.system.domain.numNodes; ++n) {
         if (n >= cfg.system.nodeId && n < cfg.system.nodeId + numServers)
             continue; // the server nodes connected themselves
@@ -156,38 +227,100 @@ runClusterExperiment(const ExperimentConfig &cfg)
         });
     }
 
-    sim::Tick measure_start = 0;
-    sim::Tick measure_end = 0;
-    std::uint64_t completed = 0;
-    const std::uint64_t target = cfg.warmupRpcs + cfg.measuredRpcs;
-    const auto hook = [&](bool, sim::Tick) {
-        ++completed;
-        if (completed == cfg.warmupRpcs) {
-            measure_start = sim.now();
-            for (auto &n : nodes)
-                n->setRecording(true);
-        }
-        if (completed == target) {
-            measure_end = sim.now();
-            tg.halt();
-            sim.stop();
-        }
-    };
-    for (auto &n : nodes)
-        n->setCompletionHook(hook);
-
     if (cfg.cluster.failNode >= 0) {
-        node::RpcNode *victim =
-            nodes[static_cast<std::uint32_t>(cfg.cluster.failNode)]
-                .get();
-        sim.schedule(cfg.cluster.failAt,
-                     [victim] { victim->setFailed(true); });
+        const auto victim_idx =
+            static_cast<std::uint32_t>(cfg.cluster.failNode);
+        node::RpcNode *victim = nodes[victim_idx].get();
+        serverSim(victim_idx)
+            .schedule(cfg.cluster.failAt,
+                      [victim] { victim->setFailed(true); });
     }
 
     for (auto &n : nodes)
         n->start();
     tg.start();
-    sim.run();
+
+    sim::Tick measure_start = 0;
+    sim::Tick measure_end = 0;
+    const std::uint64_t target = cfg.warmupRpcs + cfg.measuredRpcs;
+    std::uint64_t measured_completions = cfg.measuredRpcs;
+    std::uint64_t executed = 0;
+
+    if (!par) {
+        // Sequential: exact per-completion measurement window.
+        std::uint64_t completed = 0;
+        const auto hook = [&](bool, sim::Tick) {
+            ++completed;
+            if (completed == cfg.warmupRpcs) {
+                measure_start = clientSim.now();
+                for (auto &n : nodes)
+                    n->setRecording(true);
+            }
+            if (completed == target) {
+                measure_end = clientSim.now();
+                tg.halt();
+                clientSim.stop();
+            }
+        };
+        for (auto &n : nodes)
+            n->setCompletionHook(hook);
+        clientSim.run();
+        executed = clientSim.executedEvents();
+    } else {
+        // Conservative PDES: execute lookahead windows in parallel,
+        // exchange cross-domain mail at each barrier, and quantize
+        // the measurement window to barriers (worker-count invariant).
+        WindowPool pool(std::min<unsigned>(
+            cfg.parallelDomains,
+            static_cast<unsigned>(domainPtrs.size())));
+        bool recording = cfg.warmupRpcs == 0;
+        std::uint64_t opened_total = 0;
+        std::uint64_t last_executed = 0;
+        sim::Tick window_start = 0;
+        for (;;) {
+            const sim::Tick window_end = window_start + lookahead;
+            pool.run(domainPtrs, window_end - 1);
+            // Barrier: every domain thread is quiescent from here on.
+            std::uint64_t total = 0;
+            for (auto &n : nodes)
+                total += n->served();
+            if (!recording && total >= cfg.warmupRpcs) {
+                recording = true;
+                measure_start = window_end;
+                opened_total = total;
+                for (auto &n : nodes)
+                    n->setRecording(true);
+            }
+            if (recording && total >= target) {
+                measure_end = window_end;
+                measured_completions = total - opened_total;
+                tg.halt();
+                break;
+            }
+            fabric.exchangeWindow(window_end + lookahead);
+            std::uint64_t executed_now = 0;
+            bool pending = false;
+            for (sim::EventDomain *d : domainPtrs) {
+                executed_now += d->executedEvents();
+                pending = pending || d->pendingEvents() != 0;
+            }
+            if (executed_now == last_executed && !pending) {
+                sim::fatal(sim::strfmt(
+                    "parallel run drained (no pending events in any "
+                    "of %zu domains) at t=%llu before reaching the "
+                    "completion target %llu (reached %llu) — is the "
+                    "offered load compatible with warmup+measured?",
+                    domainPtrs.size(),
+                    static_cast<unsigned long long>(window_end),
+                    static_cast<unsigned long long>(target),
+                    static_cast<unsigned long long>(total)));
+            }
+            last_executed = executed_now;
+            window_start = window_end;
+        }
+        for (sim::EventDomain *d : domainPtrs)
+            executed += d->executedEvents();
+    }
 
     const double window_s =
         measure_end > measure_start
@@ -267,7 +400,7 @@ runClusterExperiment(const ExperimentConfig &cfg)
     out.point.samples = critical.count();
     if (window_s > 0.0) {
         out.point.achievedRps =
-            static_cast<double>(cfg.measuredRpcs) / window_s;
+            static_cast<double>(measured_completions) / window_s;
     }
     out.meanServiceNs =
         served_weight > 0
@@ -275,10 +408,9 @@ runClusterExperiment(const ExperimentConfig &cfg)
             : 0.0;
     out.flowControlDeferrals = tg.flowControlDeferrals();
     out.verifyFailures = tg.verificationFailures();
-    out.simulatedUs = sim::toUs(sim.now());
-    out.executedEvents = sim.executedEvents();
-    g_simulatedEvents.fetch_add(sim.executedEvents(),
-                                std::memory_order_relaxed);
+    out.simulatedUs = sim::toUs(clientSim.now());
+    out.executedEvents = executed;
+    g_simulatedEvents.fetch_add(executed, std::memory_order_relaxed);
     out.breakdown.reassembly = component(merged_bd.reassembly);
     out.breakdown.dispatch = component(merged_bd.dispatch);
     out.breakdown.queueWait = component(merged_bd.queueWait);
@@ -291,7 +423,7 @@ runClusterExperiment(const ExperimentConfig &cfg)
     out.requestTimeouts = tg.requestTimeouts();
     out.failoverReroutes = tg.failoverReroutes();
     out.staleReplies = tg.staleReplies();
-    out.nodesDown = health.nodesDown(sim.now());
+    out.nodesDown = health.nodesDown(clientSim.now());
     out.nestedRpcsSent = tg.nestedSent();
     out.chainsCompleted = tg.chainsCompleted();
 
@@ -299,38 +431,17 @@ runClusterExperiment(const ExperimentConfig &cfg)
     return out;
 }
 
-} // namespace
-
-std::uint64_t
-totalSimulatedEvents()
-{
-    return g_simulatedEvents.load(std::memory_order_relaxed);
-}
-
+/**
+ * The single-node, single-wheel experiment — the default fast path,
+ * bit-identical to previous releases (locked by
+ * tests/core/kernel_identity_test.cc).
+ */
 RunStats
-runExperiment(const ExperimentConfig &cfg)
-{
-    if (cfg.cluster.numServerNodes > 1)
-        return runClusterExperiment(cfg);
-    const app::RpcApplicationPtr app =
-        app::WorkloadRegistry::instance().make(cfg.workload);
-    return runExperiment(cfg, *app);
-}
-
-RunStats
-runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
+runSingleNodeExperiment(const ExperimentConfig &cfg,
+                        app::RpcApplication &app)
 {
     cfg.system.validate();
     cfg.cluster.validate();
-    if (cfg.cluster.numServerNodes > 1) {
-        sim::fatal(sim::strfmt(
-            "runExperiment(cfg, app) is a single-node shim and cannot "
-            "instantiate %u server nodes — each node needs its own "
-            "application instance; use the spec-driven "
-            "runExperiment(cfg), which builds one per node from "
-            "cfg.workload",
-            cfg.cluster.numServerNodes));
-    }
     // Validate the router spec even though a single-node run never
     // consults it: a typo should die here, not when the config is
     // later scaled up.
@@ -338,7 +449,7 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     RV_ASSERT(cfg.arrivalRps > 0.0, "arrival rate must be positive");
     RV_ASSERT(cfg.measuredRpcs > 0, "need at least one measured RPC");
 
-    sim::Simulator sim;
+    sim::EventDomain sim;
     net::Fabric fabric(sim, cfg.system.fabricLatency);
     node::RpcNode node(sim, cfg.system, app, fabric, cfg.warmupRpcs);
 
@@ -451,6 +562,24 @@ runExperiment(const ExperimentConfig &cfg, app::RpcApplication &app)
     return out;
 }
 
+} // namespace
+
+std::uint64_t
+totalSimulatedEvents()
+{
+    return g_simulatedEvents.load(std::memory_order_relaxed);
+}
+
+RunStats
+runExperiment(const ExperimentConfig &cfg)
+{
+    if (cfg.cluster.numServerNodes > 1 || cfg.parallelDomains > 0)
+        return runClusterExperiment(cfg);
+    const app::RpcApplicationPtr app =
+        app::WorkloadRegistry::instance().make(cfg.workload);
+    return runSingleNodeExperiment(cfg, *app);
+}
+
 SweepResult
 runSweep(const SweepConfig &cfg)
 {
@@ -472,49 +601,31 @@ runSweep(const SweepConfig &cfg)
                 cfg.arrivalRates[i - 1]));
         }
     }
-    // Spec-driven sweeps resolve base.workload per point; validate the
-    // name up front so a typo dies before any point runs (and on the
-    // main thread, with the full registry listing).
-    if (cfg.appFactory == nullptr)
-        (void)app::WorkloadRegistry::instance().make(cfg.base.workload);
+    // Validate the workload name up front so a typo dies before any
+    // point runs (and on the main thread, with the full registry
+    // listing).
+    (void)app::WorkloadRegistry::instance().make(cfg.base.workload);
 
     SweepResult result;
     result.series.label = cfg.label;
     result.runs.resize(cfg.arrivalRates.size());
 
-    // Points are independent simulations; parallelize across a small
-    // worker pool. Each worker builds its own app instance, so results
-    // are identical regardless of thread count.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= cfg.arrivalRates.size())
-                return;
+    // Points are independent simulations; fan them out over the
+    // shared worker pool. Each point builds its own app instances, so
+    // results are identical regardless of thread count. The thread
+    // budget is split with any per-point domain parallelism.
+    runIndexedParallel(
+        cfg.arrivalRates.size(),
+        pointConcurrency(cfg.threads, cfg.base.parallelDomains),
+        [&](std::size_t i) {
             ExperimentConfig point_cfg = cfg.base;
             point_cfg.arrivalRps = cfg.arrivalRates[i];
             // Decorrelate seeds across points without changing any
             // single point's behaviour when the grid changes.
             point_cfg.system.seed =
                 cfg.base.system.seed + 0x1000 * (i + 1);
-            if (cfg.appFactory != nullptr) {
-                auto app = cfg.appFactory();
-                result.runs[i] = runExperiment(point_cfg, *app);
-            } else {
-                result.runs[i] = runExperiment(point_cfg);
-            }
-        }
-    };
-
-    if (cfg.threads == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        for (unsigned t = 0; t < cfg.threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
-    }
+            result.runs[i] = runExperiment(point_cfg);
+        });
 
     for (const RunStats &run : result.runs)
         result.series.points.push_back(run.point);

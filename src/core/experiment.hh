@@ -28,9 +28,16 @@
  *   // stats.perClass     per-request-class throughput/p50/p99/p99.9
  *   //                    and SLO attainment (scans included)
  *
- * The runExperiment(cfg, app) / SweepConfig::appFactory entry points
- * that take a caller-constructed app::RpcApplication remain as thin
- * shims over the spec-driven path.
+ * runExperiment(cfg) is the single experiment entry point: custom
+ * applications plug in by registering a factory with the
+ * app::WorkloadRegistry (see app/workload.hh) and naming its spec in
+ * cfg.workload. The former runExperiment(cfg, app) / appFactory shims
+ * that took caller-constructed app::RpcApplication instances are gone.
+ *
+ * Setting cfg.parallelDomains >= 1 executes the run as conservative
+ * parallel DES: one sim::EventDomain per server node plus one for the
+ * client side, synchronized in fabric-lookahead windows by a
+ * core::WindowPool (see sim/domain.hh and net/fabric.hh).
  */
 
 #ifndef RPCVALET_CORE_EXPERIMENT_HH
@@ -70,9 +77,9 @@ struct ExperimentConfig
      * app::WorkloadRegistry by spec string — e.g. "herd" (default),
      * "masstree:scan_ratio=0.01", "synthetic:dist=gev", or the
      * composite "mix:CLASS=WEIGHT,..." blending any registered
-     * workloads with per-request class tags. Used by the
-     * runExperiment(cfg) entry point; the legacy runExperiment(cfg,
-     * app) shim ignores it and serves the app it was given.
+     * workloads with per-request class tags. Custom applications
+     * register a factory (app::WorkloadRegistrar) and are selected
+     * here like any built-in.
      */
     app::WorkloadSpec workload{};
     /**
@@ -94,6 +101,23 @@ struct ExperimentConfig
     std::uint64_t measuredRpcs = 200000;
     /** Client-side turnaround before reply replenishes return. */
     sim::Tick clientTurnaround = sim::nanoseconds(100.0);
+    /**
+     * 0 (default): the whole run executes on one event wheel — the
+     * exact sequential kernel, bit-identical to previous releases.
+     *
+     * N >= 1: conservative parallel DES. The run decomposes into one
+     * EventDomain per server node plus one for the client side, all
+     * executing lookahead windows (window length = fabric link
+     * latency) on a pool of N worker threads; cross-domain packets
+     * cross at window barriers through fabric mailboxes. Results are
+     * bit-identical for every N >= 1 — but not to the N == 0 global
+     * wheel, whose same-tick cross-node interleaving and
+     * per-completion (rather than per-barrier) measurement windows
+     * parallel execution deliberately does not reproduce (see README
+     * "The event model"). Chained (nested-RPC) workloads require
+     * synchronous cross-node issue and are fatal with N >= 1.
+     */
+    unsigned parallelDomains = 0;
     /**
      * fatal() when any reply fails application-level verification
      * (previously verifyFailures was silently reported in RunStats, so
@@ -243,20 +267,6 @@ struct RunStats
  */
 RunStats runExperiment(const ExperimentConfig &cfg);
 
-/**
- * Legacy shim: run against a caller-constructed application instead of
- * cfg.workload (which is ignored). Prefer the spec-driven overload —
- * with the default specs it is bit-identical to this path. Single-node
- * only: a config asking for numServerNodes > 1 is fatal, because N
- * nodes need N application instances, which only the spec-driven path
- * can build.
- */
-RunStats runExperiment(const ExperimentConfig &cfg,
-                       app::RpcApplication &app);
-
-/** Factory for per-run application instances (sweeps, threading). */
-using AppFactory = std::function<std::unique_ptr<app::RpcApplication>()>;
-
 /** Configuration of a load sweep. */
 struct SweepConfig
 {
@@ -265,16 +275,16 @@ struct SweepConfig
     /** Offered rates to sweep, requests per second. Must be non-empty
      *  and strictly ascending (validated fatally by runSweep). */
     std::vector<double> arrivalRates;
-    /**
-     * Legacy shim: per-run application factory. When unset (the
-     * default), each point instantiates base.workload through the
-     * app::WorkloadRegistry — the spec-driven path.
-     */
-    AppFactory appFactory;
     /** Series label (e.g. "1x16"). */
     std::string label;
-    /** Worker threads for independent points (1 = sequential).
-     *  Must be in [1, 1024] (validated fatally by runSweep). */
+    /**
+     * Total thread budget for the sweep (1 = sequential). Must be in
+     * [1, 1024] (validated fatally by runSweep). Point-level and
+     * domain-level parallelism share this budget: with
+     * base.parallelDomains = P, up to max(1, threads / max(1, P))
+     * points run concurrently, each on P domain workers (see
+     * core::pointConcurrency).
+     */
     unsigned threads = 1;
 };
 

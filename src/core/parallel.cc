@@ -1,0 +1,129 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rpcvalet::core {
+
+void
+runIndexedParallel(std::size_t count, unsigned threads,
+                   const std::function<void(std::size_t)> &fn)
+{
+    RV_ASSERT(fn != nullptr, "runIndexedParallel needs a function");
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            fn(i);
+        }
+    };
+
+    if (threads <= 1 || count <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    const std::size_t n =
+        std::min<std::size_t>(threads, count);
+    pool.reserve(n);
+    for (std::size_t t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+}
+
+unsigned
+pointConcurrency(unsigned threads, unsigned parallelDomains)
+{
+    const unsigned per_point = std::max(1u, parallelDomains);
+    return std::max(1u, threads / per_point);
+}
+
+WindowPool::WindowPool(unsigned workers)
+    : workers_(std::max(1u, workers))
+{
+    threads_.reserve(workers_ - 1);
+    for (unsigned w = 1; w < workers_; ++w)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WindowPool::~WindowPool()
+{
+    shutdown_.store(true, std::memory_order_release);
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WindowPool::run(const std::vector<sim::EventDomain *> &domains,
+                sim::Tick until)
+{
+    if (threads_.empty()) {
+        // Sequential execution of the same window schedule: domain
+        // isolation makes this bit-identical to any worker count.
+        for (sim::EventDomain *d : domains)
+            d->runUntil(until);
+        return;
+    }
+
+    domains_ = &domains;
+    until_ = until;
+    nextDomain_.store(0, std::memory_order_relaxed);
+    doneWorkers_.store(0, std::memory_order_relaxed);
+    // The release publishes the window inputs (and any coordinator
+    // writes into the domains, e.g. barrier-exchanged packets) to the
+    // workers' acquire loads of the generation counter.
+    generation_.fetch_add(1, std::memory_order_release);
+
+    workRound(); // the coordinator is worker 0
+
+    // Wait for every helper to finish the round; their release
+    // increments publish the domain mutations back to us.
+    const auto n = static_cast<std::uint32_t>(threads_.size());
+    unsigned spins = 0;
+    while (doneWorkers_.load(std::memory_order_acquire) != n) {
+        if (++spins % 64 == 0)
+            std::this_thread::yield();
+    }
+}
+
+void
+WindowPool::workRound()
+{
+    const std::vector<sim::EventDomain *> &doms = *domains_;
+    const sim::Tick until = until_;
+    for (;;) {
+        const std::uint32_t i =
+            nextDomain_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= doms.size())
+            return;
+        doms[i]->runUntil(until);
+    }
+}
+
+void
+WindowPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    unsigned spins = 0;
+    for (;;) {
+        const std::uint64_t g =
+            generation_.load(std::memory_order_acquire);
+        if (g == seen) {
+            if (shutdown_.load(std::memory_order_acquire))
+                return;
+            if (++spins % 64 == 0)
+                std::this_thread::yield();
+            continue;
+        }
+        seen = g;
+        spins = 0;
+        workRound();
+        doneWorkers_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+} // namespace rpcvalet::core

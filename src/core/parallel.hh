@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared parallel-execution primitives for the experiment layer.
+ *
+ * Two independent levels of parallelism compose here through one
+ * thread-budget knob:
+ *
+ *  - Point level: independent simulations (sweep points, scenario
+ *    matrix points) fan out over runIndexedParallel() — the single
+ *    worker-pool implementation behind both core::runSweep and
+ *    scenario::runScenario.
+ *  - Domain level: one simulation splits into per-node EventDomains
+ *    executed in conservative lookahead windows by a WindowPool.
+ *
+ * pointConcurrency() divides a caller's total thread budget between
+ * the two levels: a sweep with threads = 8 over points that each use
+ * parallelDomains = 4 runs 2 points at a time.
+ */
+
+#ifndef RPCVALET_CORE_PARALLEL_HH
+#define RPCVALET_CORE_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/domain.hh"
+
+namespace rpcvalet::core {
+
+/**
+ * Run fn(0), ..., fn(count - 1) across up to @p threads workers, each
+ * worker claiming the next unclaimed index until none remain. With
+ * threads <= 1 the calls run inline, in order. fn must make each index
+ * independent of the others (no cross-index ordering is guaranteed).
+ */
+void runIndexedParallel(std::size_t count, unsigned threads,
+                        const std::function<void(std::size_t)> &fn);
+
+/**
+ * How many points may run concurrently under a total thread budget of
+ * @p threads when each point itself occupies max(1, parallelDomains)
+ * threads. Never returns 0.
+ */
+unsigned pointConcurrency(unsigned threads, unsigned parallelDomains);
+
+/**
+ * A persistent pool of workers executing lookahead windows across a
+ * set of EventDomains: each run() call is one window — every domain's
+ * runUntil(until) executes exactly once, claimed dynamically by
+ * whichever worker gets there first, and run() returns only when all
+ * are done (the window barrier).
+ *
+ * The synchronization is a spin barrier, not a mutex/condvar pair: at
+ * µs-scale lookahead a window often carries only tens of events per
+ * domain, so wakeup latency would dominate. Workers spin on a
+ * generation counter (with periodic yields), the coordinator
+ * publishes a window with a release increment and waits for every
+ * worker's release-signed completion — those acquire/release pairs
+ * are also what hands domain ownership between threads (see
+ * sim/domain.hh).
+ *
+ * Determinism: which worker executes which domain is racy by design,
+ * but domains are mutually isolated inside a window (fabric lookahead
+ * invariant), so results are bit-identical for any worker count >= 1.
+ * With workers == 1 no threads are spawned and run() executes the
+ * domains inline, in order.
+ */
+class WindowPool
+{
+  public:
+    /** @param workers Total workers including the calling thread. */
+    explicit WindowPool(unsigned workers);
+    ~WindowPool();
+
+    WindowPool(const WindowPool &) = delete;
+    WindowPool &operator=(const WindowPool &) = delete;
+
+    /** Execute one window: every domain runs until @p until. */
+    void run(const std::vector<sim::EventDomain *> &domains,
+             sim::Tick until);
+
+    unsigned workers() const { return workers_; }
+
+  private:
+    void workerLoop();
+    void workRound();
+
+    unsigned workers_;
+    std::vector<std::thread> threads_;
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<std::uint32_t> nextDomain_{0};
+    std::atomic<std::uint32_t> doneWorkers_{0};
+    std::atomic<bool> shutdown_{false};
+    /** Window inputs; written by the coordinator before the
+     *  generation bump publishes them. */
+    const std::vector<sim::EventDomain *> *domains_ = nullptr;
+    sim::Tick until_ = 0;
+};
+
+} // namespace rpcvalet::core
+
+#endif // RPCVALET_CORE_PARALLEL_HH

@@ -112,7 +112,7 @@ ArrivalRegistrar::ArrivalRegistrar(const std::string &name,
 
 // The Rng stream id matches sim::PoissonProcess so the "poisson"
 // process reproduces the legacy arrival sequence bit-for-bit.
-ArrivalDriver::ArrivalDriver(sim::Simulator &sim,
+ArrivalDriver::ArrivalDriver(sim::EventDomain &sim,
                              ArrivalProcessPtr process,
                              std::uint64_t rng_seed, Handler handler)
     : sim_(sim), process_(std::move(process)),
@@ -127,6 +127,7 @@ void
 ArrivalDriver::start()
 {
     process_->onStart(sim_.now());
+    lastDrawn_ = sim_.now();
     scheduleNext();
 }
 
@@ -150,9 +151,33 @@ ArrivalDriver::fire()
 void
 ArrivalDriver::scheduleNext()
 {
-    const sim::Tick gap = sim::nanoseconds(
-        process_->nextInterarrivalNs(rng_, sim_.now()));
-    sim_.schedule(event_, gap);
+    if (batchWindow_ == 0) {
+        const sim::Tick gap = sim::nanoseconds(
+            process_->nextInterarrivalNs(rng_, sim_.now()));
+        sim_.schedule(event_, gap);
+        return;
+    }
+    if (batchNext_ >= batch_.size())
+        refillBatch();
+    sim_.scheduleAt(event_, batch_[batchNext_++]);
+}
+
+void
+ArrivalDriver::refillBatch()
+{
+    // Draw a lookahead window's worth of arrivals in one pass. The
+    // process sees the predicted absolute arrival time — exactly what
+    // sim_.now() would read when the draw happens one arrival at a
+    // time, so the sequence is identical to the unbatched mode.
+    batch_.clear();
+    batchNext_ = 0;
+    const sim::Tick horizon = sim_.now() + batchWindow_;
+    sim::Tick t = lastDrawn_;
+    do {
+        t += sim::nanoseconds(process_->nextInterarrivalNs(rng_, t));
+        batch_.push_back(t);
+    } while (t < horizon);
+    lastDrawn_ = t;
 }
 
 } // namespace rpcvalet::net

@@ -1,5 +1,6 @@
 #include "net/fabric.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "proto/packet.hh"
@@ -7,9 +8,39 @@
 
 namespace rpcvalet::net {
 
-Fabric::Fabric(sim::Simulator &sim, sim::Tick latency)
-    : sim_(sim), latency_(latency)
+Fabric::Fabric(sim::EventDomain &sim, sim::Tick latency)
+    : latency_(latency)
 {
+    auto state = std::make_unique<DomainState>();
+    state->sim = &sim;
+    domains_.push_back(std::move(state));
+}
+
+Fabric::Fabric(std::vector<sim::EventDomain *> domains, sim::Tick latency,
+               sim::Tick lookahead)
+    : latency_(latency), lookahead_(lookahead), parallel_(true),
+      windowEnd_(lookahead)
+{
+    RV_ASSERT(!domains.empty(), "parallel fabric needs domains");
+    if (lookahead == 0 || lookahead > latency) {
+        sim::fatal(sim::strfmt(
+            "fabric: lookahead %llu violates conservative "
+            "synchronization — it must be in (0, link latency = %llu]: "
+            "a packet sent inside a window [T, T+lookahead) is due at "
+            "send time + latency, which must not precede the window "
+            "end",
+            static_cast<unsigned long long>(lookahead),
+            static_cast<unsigned long long>(latency)));
+    }
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+        RV_ASSERT(domains[i] != nullptr, "null event domain");
+        RV_ASSERT(domains[i]->id() == i,
+                  "fabric domain table must be indexed by domain id");
+        auto state = std::make_unique<DomainState>();
+        state->sim = domains[i];
+        domains_.push_back(std::move(state));
+    }
+    mailboxes_.resize(domains_.size() * domains_.size());
 }
 
 void
@@ -37,29 +68,143 @@ Fabric::connectDefault(Sink sink)
 }
 
 void
+Fabric::assignNode(proto::NodeId node, sim::DomainId domain)
+{
+    RV_ASSERT(parallel_, "assignNode on a single-domain fabric");
+    RV_ASSERT(domain < domains_.size(), "domain id out of range");
+    if (!nodeDomain_.emplace(node, domain).second) {
+        sim::fatal(sim::strfmt(
+            "fabric: node %u is already assigned to a domain", node));
+    }
+}
+
+sim::DomainId
+Fabric::domainOf(proto::NodeId node) const
+{
+    const auto it = nodeDomain_.find(node);
+    return it != nodeDomain_.end() ? it->second : sim::DomainId(0);
+}
+
+void
 Fabric::send(proto::Packet pkt)
 {
-    DeliverEvent *ev = pool_.acquire();
-    ev->fabric = this;
-    ev->pkt = std::move(pkt);
-    sim_.schedule(*ev, latency_);
+    if (!parallel_) {
+        // Single-domain fast path: identical to the legacy fabric.
+        DomainState &s = *domains_.front();
+        DeliverEvent *ev = s.pool.acquire();
+        ev->fabric = this;
+        ev->dom = 0;
+        ev->pkt = std::move(pkt);
+        s.sim->schedule(*ev, latency_);
+        return;
+    }
+
+    const sim::DomainId src = domainOf(pkt.hdr.src);
+    const sim::DomainId dst = domainOf(pkt.hdr.dst);
+    DomainState &s = *domains_[src];
+    if (src == dst) {
+        // Domain-local traffic never crosses a window boundary.
+        DeliverEvent *ev = s.pool.acquire();
+        ev->fabric = this;
+        ev->dom = dst;
+        ev->pkt = std::move(pkt);
+        s.sim->schedule(*ev, latency_);
+        return;
+    }
+
+    const sim::Tick when = s.sim->now() + latency_;
+    RV_ASSERT(when >= windowEnd_,
+              "cross-domain packet due inside the executing window "
+              "(lookahead invariant violated)");
+    auto &edge = mailboxes_[src * domains_.size() + dst];
+    Mail mail;
+    mail.pkt = std::move(pkt);
+    mail.when = when;
+    mail.src = src;
+    mail.dst = dst;
+    mail.seq = edge.size();
+    edge.push_back(std::move(mail));
+}
+
+void
+Fabric::exchangeWindow(sim::Tick nextWindowEnd)
+{
+    RV_ASSERT(parallel_, "exchangeWindow on a single-domain fabric");
+    RV_ASSERT(nextWindowEnd > windowEnd_, "window must advance");
+
+    drainScratch_.clear();
+    for (auto &edge : mailboxes_) {
+        for (Mail &m : edge)
+            drainScratch_.push_back(std::move(m));
+        edge.clear();
+    }
+    windowEnd_ = nextWindowEnd;
+    if (drainScratch_.empty())
+        return;
+
+    // Deterministic delivery order per destination wheel: by time,
+    // then posting domain, then posting order — independent of worker
+    // count and scheduling.
+    std::sort(drainScratch_.begin(), drainScratch_.end(),
+              [](const Mail &a, const Mail &b) {
+                  if (a.dst != b.dst)
+                      return a.dst < b.dst;
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.seq < b.seq;
+              });
+
+    // Coalesce same-(domain, tick) arrivals into one batched ingress
+    // event each.
+    std::size_t i = 0;
+    while (i < drainScratch_.size()) {
+        std::size_t j = i + 1;
+        while (j < drainScratch_.size() &&
+               drainScratch_[j].dst == drainScratch_[i].dst &&
+               drainScratch_[j].when == drainScratch_[i].when)
+            ++j;
+        DomainState &d = *domains_[drainScratch_[i].dst];
+        BatchDeliverEvent *ev = d.batchPool.acquire();
+        ev->fabric = this;
+        ev->dom = drainScratch_[i].dst;
+        ev->pkts.reserve(j - i);
+        for (std::size_t k = i; k < j; ++k)
+            ev->pkts.push_back(std::move(drainScratch_[k].pkt));
+        d.sim->scheduleAt(*ev, drainScratch_[i].when);
+        i = j;
+    }
 }
 
 void
 Fabric::DeliverEvent::process()
 {
     Fabric *f = fabric;
+    const sim::DomainId d = dom;
     proto::Packet p = std::move(pkt);
     // Recycle before the sink runs: a sink that sends again may reuse
     // this very slot.
-    f->pool_.release(this);
-    f->deliver(std::move(p));
+    f->domains_[d]->pool.release(this);
+    f->deliver(d, std::move(p));
 }
 
 void
-Fabric::deliver(proto::Packet pkt)
+Fabric::BatchDeliverEvent::process()
 {
-    ++delivered_;
+    // Unlike the single-packet event, batch events are only acquired
+    // at the barrier (never from a sink), so delivering before the
+    // release is safe — and keeps the packet vector's capacity.
+    for (proto::Packet &p : pkts)
+        fabric->deliver(dom, std::move(p));
+    pkts.clear();
+    fabric->domains_[dom]->batchPool.release(this);
+}
+
+void
+Fabric::deliver(sim::DomainId dom, proto::Packet pkt)
+{
+    ++domains_[dom]->delivered;
     auto it = sinks_.find(pkt.hdr.dst);
     if (it != sinks_.end()) {
         it->second(std::move(pkt));
@@ -73,6 +218,15 @@ Fabric::deliver(proto::Packet pkt)
             pkt.hdr.dst));
     }
     defaultSink_(std::move(pkt));
+}
+
+std::uint64_t
+Fabric::delivered() const
+{
+    std::uint64_t total = 0;
+    for (const auto &d : domains_)
+        total += d->delivered;
+    return total;
 }
 
 } // namespace rpcvalet::net

@@ -3,10 +3,39 @@
  * Inter-node network fabric.
  *
  * A fixed-latency, per-packet delivery fabric connecting the modeled
- * node with the (emulated) rest of the cluster. soNUMA-class fabrics
- * are low-latency rack-scale interconnects; congestion happens at the
- * endpoints' NI pipelines, which the NI model covers, so the fabric
- * itself is contention-free by design (DESIGN.md §6).
+ * nodes. soNUMA-class fabrics are low-latency rack-scale
+ * interconnects; congestion happens at the endpoints' NI pipelines,
+ * which the NI model covers, so the fabric itself is contention-free
+ * by design (DESIGN.md §6).
+ *
+ * The fabric exists in two shapes:
+ *
+ *  - Single-domain (default): every node lives on one EventDomain and
+ *    a send schedules a pooled delivery event latency ticks out — the
+ *    exact legacy path, bit-identical to previous releases.
+ *
+ *  - Multi-domain (conservative parallel DES): nodes are assigned to
+ *    domains (assignNode) and the link latency doubles as the
+ *    synchronization lookahead. A same-domain send takes the legacy
+ *    path on the local wheel. A cross-domain send is posted to the
+ *    (src domain, dst domain) edge mailbox stamped with its delivery
+ *    time; because delivery time = send time + latency and latency >=
+ *    lookahead, a packet sent inside the window [T, T + lookahead) can
+ *    never be due before the window ends — send() asserts this
+ *    invariant. At the barrier, exchangeWindow() drains every edge in
+ *    a deterministic order and schedules the mail into the destination
+ *    wheels, coalescing packets that arrive at the same (domain, tick)
+ *    into one batched ingress event.
+ *
+ * Mailbox ownership protocol (multi-domain runs):
+ *  - During a window, edge (s, d) is written only by the thread that
+ *    owns domain s; no other thread reads or writes it.
+ *  - exchangeWindow() runs only at the barrier, on the coordinator,
+ *    while every domain thread is quiescent; the barrier's
+ *    release/acquire pair (core::WindowPool) publishes the mailboxes.
+ *  - connect()/connectDefault()/assignNode() happen at construction
+ *    time, before any worker exists; the sink and domain tables are
+ *    read-only afterwards.
  */
 
 #ifndef RPCVALET_NET_FABRIC_HH
@@ -14,10 +43,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "proto/packet.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace rpcvalet::net {
 
@@ -28,10 +59,28 @@ class Fabric
     using Sink = std::function<void(proto::Packet)>;
 
     /**
-     * @param sim       Owning simulator.
+     * Single-domain fabric: every node lives on @p sim.
+     *
+     * @param sim       Owning event domain.
      * @param latency   One-way propagation delay per packet.
      */
-    Fabric(sim::Simulator &sim, sim::Tick latency);
+    Fabric(sim::EventDomain &sim, sim::Tick latency);
+
+    /**
+     * Multi-domain fabric for conservative parallel DES.
+     *
+     * @param domains   One entry per domain; entry i must be the
+     *                  domain with id i (id 0 is the default home of
+     *                  unassigned nodes — by convention the client
+     *                  side).
+     * @param latency   One-way propagation delay per packet.
+     * @param lookahead Window length the run will use. A lookahead
+     *                  exceeding the link latency breaks conservative
+     *                  synchronization (a packet could be due inside
+     *                  the window it was sent in) and is fatal.
+     */
+    Fabric(std::vector<sim::EventDomain *> domains, sim::Tick latency,
+           sim::Tick lookahead);
 
     /**
      * Attach the receiver for packets addressed to @p node.
@@ -47,17 +96,43 @@ class Fabric
      */
     void connectDefault(Sink sink);
 
+    /**
+     * Place @p node on @p domain (multi-domain fabrics only; nodes
+     * never assigned live on domain 0). Construction-time only — see
+     * the ownership protocol above.
+     */
+    void assignNode(proto::NodeId node, sim::DomainId domain);
+
     /** Inject a packet; it arrives at its destination after latency. */
     void send(proto::Packet pkt);
 
-    /** Packets delivered so far. */
-    std::uint64_t delivered() const { return delivered_; }
+    /**
+     * Barrier step (multi-domain; coordinator only, all domain
+     * threads quiescent): deliver the closing window's cross-domain
+     * mail into the destination wheels in deterministic (time, source
+     * domain, posting order) order, then arm the next window, which
+     * ends at @p nextWindowEnd.
+     */
+    void exchangeWindow(sim::Tick nextWindowEnd);
+
+    /** Packets delivered so far (all domains). */
+    std::uint64_t delivered() const;
+
+    /** One-way propagation delay per packet. */
+    sim::Tick latency() const { return latency_; }
+
+    /** Synchronization lookahead (0 for single-domain fabrics). */
+    sim::Tick lookahead() const { return lookahead_; }
+
+    /** True for the multi-domain (mailbox) shape. */
+    bool parallel() const { return parallel_; }
 
   private:
     /** In-flight packet: pooled, reused across deliveries. */
     struct DeliverEvent : sim::Event
     {
         Fabric *fabric = nullptr;
+        sim::DomainId dom = 0;
         proto::Packet pkt;
 
         void process() override;
@@ -67,14 +142,59 @@ class Fabric
         }
     };
 
-    void deliver(proto::Packet pkt);
+    /**
+     * Coalesced cross-domain ingress: every packet due at one
+     * (domain, tick) rides a single event, in deterministic order.
+     */
+    struct BatchDeliverEvent : sim::Event
+    {
+        Fabric *fabric = nullptr;
+        sim::DomainId dom = 0;
+        std::vector<proto::Packet> pkts;
 
-    sim::Simulator &sim_;
+        void process() override;
+        const char *description() const override
+        {
+            return "fabric-deliver-batch";
+        }
+    };
+
+    /** A cross-domain packet parked in an edge mailbox. */
+    struct Mail
+    {
+        proto::Packet pkt;
+        sim::Tick when = 0;       ///< absolute delivery time
+        sim::DomainId src = 0;    ///< posting domain (sort tiebreak)
+        sim::DomainId dst = 0;    ///< destination domain
+        std::uint64_t seq = 0;    ///< per-edge posting order
+    };
+
+    /** Per-domain state, touched only by the domain's owner thread
+     *  (except at the barrier, where the coordinator owns all). */
+    struct DomainState
+    {
+        sim::EventDomain *sim = nullptr;
+        std::uint64_t delivered = 0;
+        sim::EventPool<DeliverEvent> pool;
+        sim::EventPool<BatchDeliverEvent> batchPool;
+    };
+
+    void deliver(sim::DomainId dom, proto::Packet pkt);
+    sim::DomainId domainOf(proto::NodeId node) const;
+
+    std::vector<std::unique_ptr<DomainState>> domains_;
     sim::Tick latency_;
+    sim::Tick lookahead_ = 0;
+    bool parallel_ = false;
+    /** End of the window currently executing (multi-domain). */
+    sim::Tick windowEnd_ = 0;
+    /** Edge mailboxes, row-major [src * numDomains + dst]. */
+    std::vector<std::vector<Mail>> mailboxes_;
+    std::unordered_map<proto::NodeId, sim::DomainId> nodeDomain_;
     std::unordered_map<proto::NodeId, Sink> sinks_;
     Sink defaultSink_;
-    std::uint64_t delivered_ = 0;
-    sim::EventPool<DeliverEvent> pool_;
+    /** Barrier drain scratch (coordinator only; reused, no alloc). */
+    std::vector<Mail> drainScratch_;
 };
 
 } // namespace rpcvalet::net

@@ -8,7 +8,7 @@
 
 namespace rpcvalet::net {
 
-TrafficGenerator::TrafficGenerator(sim::Simulator &sim,
+TrafficGenerator::TrafficGenerator(sim::EventDomain &sim,
                                    const Params &params,
                                    const proto::MessagingDomain &domain,
                                    app::RpcApplication &app, Fabric &fabric,
@@ -38,6 +38,7 @@ TrafficGenerator::TrafficGenerator(sim::Simulator &sim,
               "need at least one remote client node");
     RV_ASSERT(router_ == nullptr || shards_ != nullptr,
               "a cluster router needs a shard map");
+    arrivals_.setBatchWindow(params_.arrivalBatchWindow);
     madeByClass_.resize(std::max<std::size_t>(
         app.requestClasses().size(), 1));
     for (proto::NodeId n = 0; n < domain_.numNodes; ++n) {

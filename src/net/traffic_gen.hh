@@ -45,7 +45,7 @@
 #include "net/arrival.hh"
 #include "net/fabric.hh"
 #include "proto/messaging.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace rpcvalet::net {
 
@@ -69,6 +69,11 @@ class TrafficGenerator : private cluster::ClusterView
         /** Request timeout for failure detection; 0 disables the
          *  timeout sweep entirely (single-node bit-identical path). */
         sim::Tick requestTimeout = 0;
+        /** Pre-draw arrivals in blocks covering this many ticks (0 =
+         *  one draw per arrival; see ArrivalDriver::setBatchWindow).
+         *  Parallel-domain runs set this to the lookahead so a whole
+         *  window's arrivals are generated per refill. */
+        sim::Tick arrivalBatchWindow = 0;
         /** Experiment seed. */
         std::uint64_t seed = 1;
     };
@@ -81,7 +86,7 @@ class TrafficGenerator : private cluster::ClusterView
      *                null (every server always considered up).
      * @param shards  Keyspace partition for shard-affinity routing.
      */
-    TrafficGenerator(sim::Simulator &sim, const Params &params,
+    TrafficGenerator(sim::EventDomain &sim, const Params &params,
                      const proto::MessagingDomain &domain,
                      app::RpcApplication &app, Fabric &fabric,
                      cluster::Router *router = nullptr,
@@ -211,7 +216,7 @@ class TrafficGenerator : private cluster::ClusterView
     /** Reroute everything queued toward @p server (just marked down). */
     void drainPending(std::uint32_t server);
 
-    sim::Simulator &sim_;
+    sim::EventDomain &sim_;
     Params params_;
     proto::MessagingDomain domain_;
     app::RpcApplication &app_;

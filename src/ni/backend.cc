@@ -6,7 +6,7 @@
 
 namespace rpcvalet::ni {
 
-NiBackend::NiBackend(sim::Simulator &sim, const Params &params,
+NiBackend::NiBackend(sim::EventDomain &sim, const Params &params,
                      const mem::MemoryModel &memory, mem::RecvBuffer &recv,
                      CompletionHandler on_complete,
                      ReplenishHandler on_replenish, Injector inject)

@@ -28,7 +28,7 @@
 #include "mem/memory_model.hh"
 #include "proto/packet.hh"
 #include "proto/qp.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace rpcvalet::ni {
 
@@ -55,7 +55,7 @@ class NiBackend
         sim::Tick txSetupLatency = sim::nanoseconds(4.5);
     };
 
-    NiBackend(sim::Simulator &sim, const Params &params,
+    NiBackend(sim::EventDomain &sim, const Params &params,
               const mem::MemoryModel &memory, mem::RecvBuffer &recv,
               CompletionHandler on_complete, ReplenishHandler on_replenish,
               Injector inject);
@@ -127,7 +127,7 @@ class NiBackend
     void processIngress(proto::Packet pkt, sim::Tick arrival);
     void signalCompletion(std::uint32_t index, proto::NodeId src);
 
-    sim::Simulator &sim_;
+    sim::EventDomain &sim_;
     Params params_;
     const mem::MemoryModel &memory_;
     mem::RecvBuffer &recv_;

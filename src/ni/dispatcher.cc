@@ -7,7 +7,7 @@
 
 namespace rpcvalet::ni {
 
-Dispatcher::Dispatcher(sim::Simulator &sim, const Params &params,
+Dispatcher::Dispatcher(sim::EventDomain &sim, const Params &params,
                        std::unique_ptr<DispatchPolicy> policy,
                        std::uint32_t num_cores,
                        std::vector<proto::CoreId> candidates,

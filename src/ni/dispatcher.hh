@@ -24,7 +24,7 @@
 
 #include "ni/dispatch_policy.hh"
 #include "proto/qp.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace rpcvalet::ni {
 
@@ -55,7 +55,7 @@ class Dispatcher
      * @param deliver    CQE delivery hook (applies mesh/frontend
      *                   latency on the caller side).
      */
-    Dispatcher(sim::Simulator &sim, const Params &params,
+    Dispatcher(sim::EventDomain &sim, const Params &params,
                std::unique_ptr<DispatchPolicy> policy,
                std::uint32_t num_cores,
                std::vector<proto::CoreId> candidates, Deliver deliver);
@@ -103,7 +103,7 @@ class Dispatcher
     void tryDispatch();
     DispatchContext context();
 
-    sim::Simulator &sim_;
+    sim::EventDomain &sim_;
     Params params_;
     std::unique_ptr<DispatchPolicy> policy_;
     std::vector<proto::CoreId> candidates_;

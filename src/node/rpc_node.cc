@@ -26,7 +26,7 @@ constexpr std::uint32_t completionPacketBytes = 16;
 
 } // namespace
 
-RpcNode::RpcNode(sim::Simulator &sim, const SystemParams &params,
+RpcNode::RpcNode(sim::EventDomain &sim, const SystemParams &params,
                  app::RpcApplication &app, net::Fabric &fabric,
                  std::uint64_t warmup_samples)
     : sim_(sim), params_(params), app_(app), fabric_(fabric),

@@ -49,7 +49,7 @@ class RpcNode
      * @param fabric   Inter-node fabric (node attaches itself).
      * @param warmup_samples Latency samples to discard as warmup.
      */
-    RpcNode(sim::Simulator &sim, const SystemParams &params,
+    RpcNode(sim::EventDomain &sim, const SystemParams &params,
             app::RpcApplication &app, net::Fabric &fabric,
             std::uint64_t warmup_samples);
 
@@ -280,7 +280,7 @@ class RpcNode
     void notifyDispatcherCredit(proto::CoreId core);
     void corePullNext(proto::CoreId core);
 
-    sim::Simulator &sim_;
+    sim::EventDomain &sim_;
     SystemParams params_;
     app::RpcApplication &app_;
     net::Fabric &fabric_;

@@ -1,12 +1,12 @@
 #include "scenario/runner.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
-#include <thread>
 #include <utility>
 
+#include "core/parallel.hh"
 #include "sim/build_info.hh"
 #include "sim/logging.hh"
 #include "stats/metrics.hh"
@@ -345,31 +345,26 @@ runScenario(const Scenario &scn)
     result.scenario = scn;
     result.points.resize(points.size());
 
-    // Points are independent simulations; the worker pool mirrors
-    // core::runSweep. Results land by index, so output order (and
-    // content) is identical regardless of thread count.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= points.size())
-                return;
+    // Points are independent simulations, fanned out over the shared
+    // point-execution pool (same as core::runSweep). Results land by
+    // index, so output order (and content) is identical regardless of
+    // thread count. scn.threads is the total budget: points that
+    // themselves run parallel domains get proportionally fewer
+    // concurrent siblings.
+    unsigned max_domains = 0;
+    for (const ScenarioPoint &pt : points)
+        max_domains =
+            std::max(max_domains, pt.config.parallelDomains);
+    core::runIndexedParallel(
+        points.size(),
+        core::pointConcurrency(scn.threads, max_domains),
+        [&](std::size_t i) {
             PointResult res;
             res.point = points[i];
             res.stats = core::runExperiment(points[i].config);
             res.slos = evaluateSlos(scn, res.stats);
             result.points[i] = std::move(res);
-        }
-    };
-    if (scn.threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        for (unsigned t = 0; t < scn.threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
-    }
+        });
 
     for (const PointResult &res : result.points) {
         for (const SloOutcome &so : res.slos)

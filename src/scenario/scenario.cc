@@ -274,10 +274,16 @@ class Parser
             out_.base.system.seed = parseUint(value);
         } else if (key == "turnaround") {
             out_.base.clientTurnaround = parseTick(value);
+        } else if (key == "parallel_domains") {
+            const std::uint64_t n = parseUint(value);
+            if (n > 1024)
+                die("'parallel_domains' must be at most 1024");
+            out_.base.parallelDomains = static_cast<unsigned>(n);
         } else {
             die("unknown [experiment] key '" + key +
                 "' (expected name, workload, arrival, policy, mode, "
-                "warmup, measured, seed, or turnaround)");
+                "warmup, measured, seed, turnaround, or "
+                "parallel_domains)");
         }
     }
 

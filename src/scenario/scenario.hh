@@ -18,6 +18,8 @@
  *   warmup   = 20000
  *   measured = 200000
  *   seed     = 1
+ *   parallel_domains = 0             # 0 = one event wheel (exact);
+ *                                    # N = conservative PDES workers
  *
  *   [cluster]
  *   nodes    = 4

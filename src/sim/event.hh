@@ -20,6 +20,14 @@
  * One-shot callers with small captures can instead use the
  * Simulator::schedule(Tick, Callback) shim, which draws pooled events
  * internally (see sim/simulator.hh for how to choose).
+ *
+ * Threading model: an Event and the EventPool it came from belong to
+ * the simulator wheel they schedule on, and inherit that wheel's
+ * single-owner rule (sim/simulator.hh) — pools are not locked, and a
+ * payload event must be released back to the pool that issued it, on
+ * the owning thread. Cross-domain traffic never moves Event objects
+ * between wheels; the fabric copies the payload into the destination
+ * domain's own pool at the window barrier (net/fabric.hh).
  */
 
 #ifndef RPCVALET_SIM_EVENT_HH

@@ -32,6 +32,18 @@
  * and descheduling is O(1) thanks to the intrusive doubly-linked
  * hooks. Determinism is unchanged from the heap kernel and is locked
  * by tests/core/kernel_identity_test.cc.
+ *
+ * Threading model
+ * ---------------
+ * A Simulator (wheel, clock, callback pool) is single-owner state: it
+ * is never internally synchronized, and exactly one thread may call
+ * schedule/deschedule/run/runUntil at any instant. Parallel runs do
+ * not share a wheel — they shard the experiment into sim::EventDomain
+ * instances (sim/domain.hh, each is-a Simulator) and hand whole
+ * domains to workers across a barrier (core::WindowPool), so every
+ * mutation still happens under one owner. There is no process-global
+ * "current simulator": components receive their EventDomain& at
+ * construction and hold it for life.
  */
 
 #ifndef RPCVALET_SIM_SIMULATOR_HH

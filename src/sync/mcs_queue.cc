@@ -6,7 +6,7 @@
 
 namespace rpcvalet::sync {
 
-SoftwareSharedQueue::SoftwareSharedQueue(sim::Simulator &sim,
+SoftwareSharedQueue::SoftwareSharedQueue(sim::EventDomain &sim,
                                          McsParams params)
     : sim_(sim), params_(params)
 {

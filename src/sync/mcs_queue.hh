@@ -24,7 +24,7 @@
 #include <functional>
 
 #include "proto/qp.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 #include "sim/types.hh"
 
 namespace rpcvalet::sync {
@@ -56,7 +56,7 @@ class SoftwareSharedQueue
     using PullCallback =
         std::function<void(const proto::CompletionQueueEntry &)>;
 
-    SoftwareSharedQueue(sim::Simulator &sim, McsParams params);
+    SoftwareSharedQueue(sim::EventDomain &sim, McsParams params);
 
     /** NI-side: enqueue an arrived message notification. */
     void push(proto::CompletionQueueEntry entry);
@@ -87,7 +87,7 @@ class SoftwareSharedQueue
   private:
     void tryMatch();
 
-    sim::Simulator &sim_;
+    sim::EventDomain &sim_;
     McsParams params_;
     std::deque<proto::CompletionQueueEntry> entries_;
     std::deque<PullCallback> waiters_;

@@ -142,19 +142,6 @@ TEST(ClusterExperiment, NodeFailureIsDetectedAndTrafficReroutes)
 
 // ----- validation -----
 
-TEST(ClusterExperimentDeath, LegacyShimRejectsMultiNodeConfigs)
-{
-    // runExperiment(cfg, app) cannot build one application per node.
-    EXPECT_EXIT(
-        {
-            core::ExperimentConfig cfg = clusterConfig(2, "rr");
-            app::RpcApplicationPtr app =
-                app::WorkloadRegistry::instance().make(cfg.workload);
-            (void)core::runExperiment(cfg, *app);
-        },
-        ::testing::ExitedWithCode(1), "single-node shim");
-}
-
 TEST(ClusterExperimentDeath, UnknownRouterDiesBeforeTheRun)
 {
     EXPECT_EXIT(

@@ -9,7 +9,6 @@
 
 #include <gtest/gtest.h>
 
-#include "app/synthetic_app.hh"
 #include "core/experiment.hh"
 
 namespace {
@@ -25,8 +24,8 @@ TEST(BuildSanity, TinyExperimentRunsToCompletion)
     cfg.warmupRpcs = 10;
     cfg.measuredRpcs = 100;
 
-    app::SyntheticApp app(sim::SyntheticKind::Fixed);
-    const core::RunStats r = core::runExperiment(cfg, app);
+    cfg.workload = "synthetic:dist=fixed";
+    const core::RunStats r = core::runExperiment(cfg);
 
     EXPECT_EQ(r.completions, cfg.warmupRpcs + cfg.measuredRpcs);
     EXPECT_EQ(r.point.samples, cfg.measuredRpcs);
@@ -43,10 +42,9 @@ TEST(BuildSanity, TinyExperimentIsDeterministic)
     cfg.warmupRpcs = 10;
     cfg.measuredRpcs = 50;
 
-    app::SyntheticApp a(sim::SyntheticKind::Fixed);
-    app::SyntheticApp b(sim::SyntheticKind::Fixed);
-    const core::RunStats ra = core::runExperiment(cfg, a);
-    const core::RunStats rb = core::runExperiment(cfg, b);
+    cfg.workload = "synthetic:dist=fixed";
+    const core::RunStats ra = core::runExperiment(cfg);
+    const core::RunStats rb = core::runExperiment(cfg);
 
     EXPECT_DOUBLE_EQ(ra.point.meanNs, rb.point.meanNs);
     EXPECT_DOUBLE_EQ(ra.point.p99Ns, rb.point.p99Ns);

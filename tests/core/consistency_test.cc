@@ -16,7 +16,7 @@
 #include "net/traffic_gen.hh"
 #include "node/rpc_node.hh"
 #include "queueing/model.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace {
 
@@ -27,13 +27,13 @@ TEST(Consistency, SystemTracksQueueingModelAtMidLoad)
     // §6.3: with service = fixed overhead + distributed part, the
     // implementation's p99 should track the 1x16 model closely below
     // saturation.
-    app::SyntheticApp app(sim::SyntheticKind::Exponential);
     core::ExperimentConfig cfg;
+    cfg.workload = "synthetic:dist=exponential";
     cfg.system.seed = 31;
     cfg.arrivalRps = 12e6; // ~62% load
     cfg.warmupRpcs = 5000;
     cfg.measuredRpcs = 80000;
-    const auto sim_run = core::runExperiment(cfg, app);
+    const auto sim_run = core::runExperiment(cfg);
 
     const double sbar = sim_run.meanServiceNs;
     auto processing = sim::makeSynthetic(sim::SyntheticKind::Exponential);
@@ -70,7 +70,7 @@ TEST_P(DrainProperty, NoLeaksAfterFullDrain)
 {
     // Run under load, halt arrivals, drain: every request must be
     // answered and every resource returned.
-    sim::Simulator sim;
+    sim::EventDomain sim;
     net::Fabric fabric(sim, sim::nanoseconds(100.0));
     app::SyntheticApp app(sim::SyntheticKind::Gev);
     app.setRequestPaddingBytes(GetParam().padding);
@@ -126,14 +126,14 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Consistency, PreemptionDrainsCleanlyToo)
 {
-    app::SyntheticApp app(sim::SyntheticKind::Gev);
     core::ExperimentConfig cfg;
+    cfg.workload = "synthetic:dist=gev";
     cfg.system.seed = 34;
     cfg.system.preemptionQuantum = sim::microseconds(1.0);
     cfg.arrivalRps = 8e6;
     cfg.warmupRpcs = 500;
     cfg.measuredRpcs = 15000;
-    const auto r = core::runExperiment(cfg, app);
+    const auto r = core::runExperiment(cfg);
     EXPECT_EQ(r.verifyFailures, 0u);
     // GEV occasionally exceeds 1 us: some yields must have happened.
     EXPECT_GT(r.preemptionYields, 0u);

@@ -10,9 +10,8 @@
 
 #include <memory>
 
-#include "app/herd_app.hh"
-#include "app/masstree_app.hh"
 #include "app/synthetic_app.hh"
+#include "app/workload.hh"
 #include "core/experiment.hh"
 
 namespace {
@@ -36,10 +35,8 @@ smallConfig(ni::DispatchMode mode, double arrival_rps)
 
 TEST(Experiment, HerdModerateLoadCompletesAndVerifies)
 {
-    app::HerdApp app;
     const RunStats r =
-        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 10e6),
-                      app);
+        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 10e6));
     EXPECT_EQ(r.completions, 22000u);
     EXPECT_EQ(r.verifyFailures, 0u);
     EXPECT_EQ(r.point.samples, 20000u);
@@ -52,10 +49,8 @@ TEST(Experiment, MeasuredServiceTimeMatchesCalibration)
 {
     // §6.1: HERD's measured mean service time is ~550 ns (330 ns mean
     // processing + ~220 ns loop overhead).
-    app::HerdApp app;
     const RunStats r =
-        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 5e6),
-                      app);
+        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 5e6));
     EXPECT_GT(r.meanServiceNs, 500.0);
     EXPECT_LT(r.meanServiceNs, 610.0);
 }
@@ -64,10 +59,8 @@ TEST(Experiment, LowLoadLatencyIsUnqueuedLatency)
 {
     // At very low load an RPC's latency is just the protocol path +
     // service time: well under 1.5x S-bar, and p99 close to mean.
-    app::HerdApp app;
     const RunStats r =
-        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 1e6),
-                      app);
+        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 1e6));
     EXPECT_LT(r.point.meanNs, 1.5 * r.meanServiceNs);
     EXPECT_LT(r.point.p99Ns, 3.0 * r.meanServiceNs);
 }
@@ -79,8 +72,7 @@ class ExperimentAllModes
 
 TEST_P(ExperimentAllModes, RepliesVerifyAndThroughputTracksOffered)
 {
-    app::HerdApp app;
-    const RunStats r = runExperiment(smallConfig(GetParam(), 8e6), app);
+    const RunStats r = runExperiment(smallConfig(GetParam(), 8e6));
     EXPECT_EQ(r.verifyFailures, 0u);
     EXPECT_EQ(r.completions, 22000u);
     EXPECT_NEAR(r.point.achievedRps, 8e6, 8e6 * 0.06);
@@ -89,8 +81,7 @@ TEST_P(ExperimentAllModes, RepliesVerifyAndThroughputTracksOffered)
 TEST_P(ExperimentAllModes, DeterministicForSameSeed)
 {
     auto run_once = [&] {
-        app::HerdApp app;
-        return runExperiment(smallConfig(GetParam(), 12e6), app);
+        return runExperiment(smallConfig(GetParam(), 12e6));
     };
     const RunStats a = run_once();
     const RunStats b = run_once();
@@ -127,8 +118,7 @@ TEST(Experiment, DefaultSpecsBitIdenticalToExplicitStrings)
             smallConfig(ni::DispatchMode::SingleQueue, 14e6);
         cfg.system.policy = policy;
         cfg.arrival = arrival;
-        app::HerdApp app;
-        return runExperiment(cfg, app);
+        return runExperiment(cfg);
     };
     const RunStats via_default =
         run_with(ni::PolicySpec{}, net::ArrivalSpec{});
@@ -158,8 +148,7 @@ TEST(ExperimentDeath, UnknownArrivalProcessIsFatal)
     ExperimentConfig cfg =
         smallConfig(ni::DispatchMode::SingleQueue, 10e6);
     cfg.arrival.name = "nonesuch";
-    app::HerdApp app;
-    EXPECT_EXIT(runExperiment(cfg, app), ::testing::ExitedWithCode(1),
+    EXPECT_EXIT(runExperiment(cfg), ::testing::ExitedWithCode(1),
                 "unknown arrival process 'nonesuch'.*poisson");
 }
 
@@ -169,21 +158,17 @@ TEST(Experiment, BurstyArrivalsInflateTheTailAtEqualLoad)
     // rate, MMPP bursts must produce a worse p99 than Poisson.
     ExperimentConfig cfg =
         smallConfig(ni::DispatchMode::SingleQueue, 14e6);
-    app::HerdApp poisson_app;
-    const RunStats poisson = runExperiment(cfg, poisson_app);
+    const RunStats poisson = runExperiment(cfg);
     cfg.arrival = "mmpp2:burst=0.1,ratio=8,dwell=20us";
-    app::HerdApp bursty_app;
-    const RunStats bursty = runExperiment(cfg, bursty_app);
+    const RunStats bursty = runExperiment(cfg);
     EXPECT_EQ(bursty.verifyFailures, 0u);
     EXPECT_GT(bursty.point.p99Ns, 1.5 * poisson.point.p99Ns);
 }
 
 TEST(Experiment, SingleQueueBalancesLoadAcrossCores)
 {
-    app::HerdApp app;
     const RunStats r =
-        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 20e6),
-                      app);
+        runExperiment(smallConfig(ni::DispatchMode::SingleQueue, 20e6));
     // With 22k RPCs over 16 cores, RPCValet's single queue keeps
     // per-core counts within a tight band of the mean.
     const double mean = 22000.0 / 16.0;
@@ -198,10 +183,10 @@ TEST(Experiment, TailOrderingAcrossHardwareModes)
     // Fig. 7: p99(1x16) <= p99(4x4) <= p99(16x1) under high load with
     // a variable service-time workload.
     auto p99_of = [&](ni::DispatchMode mode) {
-        app::SyntheticApp app(sim::SyntheticKind::Gev);
         ExperimentConfig cfg = smallConfig(mode, 14e6);
+        cfg.workload = "synthetic:dist=gev";
         cfg.measuredRpcs = 40000;
-        return runExperiment(cfg, app).point.p99Ns;
+        return runExperiment(cfg).point.p99Ns;
     };
     const double single = p99_of(ni::DispatchMode::SingleQueue);
     const double grouped = p99_of(ni::DispatchMode::PerBackendGroup);
@@ -216,10 +201,10 @@ TEST(Experiment, SoftwareQueueSaturatesBeforeHardware)
     // offered load beyond its lock capacity it cannot keep up, while
     // hardware 1x16 can.
     auto achieved = [&](ni::DispatchMode mode) {
-        app::SyntheticApp app(sim::SyntheticKind::Exponential);
         ExperimentConfig cfg = smallConfig(mode, 10e6);
+        cfg.workload = "synthetic:dist=exponential";
         cfg.measuredRpcs = 30000;
-        return runExperiment(cfg, app).point.achievedRps;
+        return runExperiment(cfg).point.achievedRps;
     };
     const double hw = achieved(ni::DispatchMode::SingleQueue);
     const double sw = achieved(ni::DispatchMode::SoftwarePull);
@@ -229,11 +214,10 @@ TEST(Experiment, SoftwareQueueSaturatesBeforeHardware)
 
 TEST(Experiment, OverloadCapsAtCoreCapacity)
 {
-    app::HerdApp app;
     ExperimentConfig cfg =
         smallConfig(ni::DispatchMode::SingleQueue, 80e6);
     cfg.measuredRpcs = 40000;
-    const RunStats r = runExperiment(cfg, app);
+    const RunStats r = runExperiment(cfg);
     // Capacity = 16 cores / S-bar. Achieved must cap there (+/-7%).
     const double capacity = 16.0 / (r.meanServiceNs * 1e-9);
     EXPECT_LT(r.point.achievedRps, capacity * 1.07);
@@ -244,12 +228,12 @@ TEST(Experiment, OverloadCapsAtCoreCapacity)
 
 TEST(Experiment, MasstreeScansAreServedButNotLatencyCritical)
 {
-    app::MasstreeApp app;
     ExperimentConfig cfg =
         smallConfig(ni::DispatchMode::SingleQueue, 2e6);
+    cfg.workload = "masstree";
     cfg.warmupRpcs = 500;
     cfg.measuredRpcs = 10000;
-    const RunStats r = runExperiment(cfg, app);
+    const RunStats r = runExperiment(cfg);
     EXPECT_EQ(r.verifyFailures, 0u);
     // ~1% scans: critical completions < all completions.
     EXPECT_LT(r.criticalCompletions, r.completions);
@@ -263,11 +247,11 @@ TEST(Experiment, MasstreeSingleQueueShieldsGetsFromScans)
     // busy with 60-120 us scans; static hashing queues gets behind
     // them, inflating the get p99 by an order of magnitude.
     auto p99_of = [&](ni::DispatchMode mode) {
-        app::MasstreeApp app;
         ExperimentConfig cfg = smallConfig(mode, 2e6);
+        cfg.workload = "masstree";
         cfg.warmupRpcs = 500;
         cfg.measuredRpcs = 15000;
-        return runExperiment(cfg, app).point.p99Ns;
+        return runExperiment(cfg).point.p99Ns;
     };
     const double single = p99_of(ni::DispatchMode::SingleQueue);
     const double partitioned = p99_of(ni::DispatchMode::StaticHash);
@@ -281,7 +265,6 @@ TEST(Experiment, SweepRunsAllPointsAndOrdersSeries)
     sweep.base.warmupRpcs = 500;
     sweep.base.measuredRpcs = 5000;
     sweep.arrivalRates = {2e6, 6e6, 12e6};
-    sweep.appFactory = [] { return std::make_unique<app::HerdApp>(); };
     sweep.label = "1x16";
     const core::SweepResult result = core::runSweep(sweep);
     ASSERT_EQ(result.series.points.size(), 3u);
@@ -299,7 +282,6 @@ TEST(Experiment, SweepThreadCountDoesNotChangeResults)
     sweep.base.warmupRpcs = 500;
     sweep.base.measuredRpcs = 4000;
     sweep.arrivalRates = {3e6, 9e6, 15e6, 20e6};
-    sweep.appFactory = [] { return std::make_unique<app::HerdApp>(); };
     sweep.label = "1x16";
 
     sweep.threads = 1;
@@ -316,9 +298,9 @@ TEST(Experiment, SweepThreadCountDoesNotChangeResults)
 
 TEST(Experiment, CapacityEstimateIsReasonable)
 {
-    app::HerdApp app;
     node::SystemParams sys;
-    const double cap = core::estimateCapacityRps(sys, app);
+    const double cap =
+        core::estimateCapacityRps(sys, app::WorkloadSpec("herd"));
     // ~16 cores / 550 ns => ~29 Mrps (the paper's HERD peak).
     EXPECT_GT(cap, 25e6);
     EXPECT_LT(cap, 33e6);
@@ -353,40 +335,18 @@ expectBitIdentical(const RunStats &a, const RunStats &b)
     EXPECT_EQ(a.replySlotStalls, b.replySlotStalls);
 }
 
-TEST(SpecWorkload, DefaultSpecBitIdenticalToLegacyAppPath)
+TEST(SpecWorkload, DefaultSpecBitIdenticalToExplicitHerd)
 {
-    // The acceptance lock for the workload redesign: running through
-    // the registry ("herd" is the default spec) must replay the legacy
-    // RpcApplication& path event for event at a fixed seed.
+    // The default-constructed spec IS "herd": spelling it out must not
+    // perturb a single event at a fixed seed.
     ExperimentConfig cfg =
         smallConfig(ni::DispatchMode::SingleQueue, 14e6);
     cfg.measuredRpcs = 10000;
-    app::HerdApp legacy_app;
-    const RunStats legacy = runExperiment(cfg, legacy_app);
-    const RunStats spec = runExperiment(cfg); // cfg.workload == "herd"
-    expectBitIdentical(legacy, spec);
-    EXPECT_EQ(spec.workload, "herd");
-}
-
-TEST(SpecWorkload, MasstreeAndSyntheticSpecsMatchLegacyApps)
-{
-    ExperimentConfig cfg =
-        smallConfig(ni::DispatchMode::SingleQueue, 2e6);
-    cfg.warmupRpcs = 500;
-    cfg.measuredRpcs = 5000;
-    {
-        app::MasstreeApp legacy_app;
-        const RunStats legacy = runExperiment(cfg, legacy_app);
-        cfg.workload = "masstree";
-        expectBitIdentical(legacy, runExperiment(cfg));
-    }
-    {
-        cfg.arrivalRps = 10e6;
-        app::SyntheticApp legacy_app(sim::SyntheticKind::Gev);
-        const RunStats legacy = runExperiment(cfg, legacy_app);
-        cfg.workload = "synthetic:dist=gev";
-        expectBitIdentical(legacy, runExperiment(cfg));
-    }
+    const RunStats implicit = runExperiment(cfg);
+    cfg.workload = "herd";
+    const RunStats spelled = runExperiment(cfg);
+    expectBitIdentical(implicit, spelled);
+    EXPECT_EQ(spelled.workload, "herd");
 }
 
 TEST(SpecWorkload, MixOfOneBitIdenticalToPlainWorkload)
@@ -401,23 +361,6 @@ TEST(SpecWorkload, MixOfOneBitIdenticalToPlainWorkload)
     cfg.workload = "mix:herd=1";
     const RunStats mix = runExperiment(cfg);
     expectBitIdentical(plain, mix);
-}
-
-TEST(SpecWorkload, SweepWithoutFactoryMatchesFactorySweep)
-{
-    core::SweepConfig sweep;
-    sweep.base = smallConfig(ni::DispatchMode::SingleQueue, 0.0);
-    sweep.base.warmupRpcs = 500;
-    sweep.base.measuredRpcs = 4000;
-    sweep.arrivalRates = {4e6, 12e6};
-    sweep.label = "spec";
-    const auto spec_result = core::runSweep(sweep); // base.workload
-    sweep.appFactory = [] { return std::make_unique<app::HerdApp>(); };
-    const auto factory_result = core::runSweep(sweep);
-    ASSERT_EQ(spec_result.runs.size(), factory_result.runs.size());
-    for (std::size_t i = 0; i < spec_result.runs.size(); ++i) {
-        expectBitIdentical(spec_result.runs[i], factory_result.runs[i]);
-    }
 }
 
 TEST(SpecWorkload, MixDeterministicForSameSeed)
@@ -537,14 +480,21 @@ class CorruptingApp : public app::SyntheticApp
     std::string name() const override { return "corrupting"; }
 };
 
+// Custom workloads reach runExperiment through the registry — the
+// same extension seam examples/custom_workload_playground.cc uses.
+const app::WorkloadRegistrar corruptingReg(
+    "corrupting", [](const app::WorkloadSpec &) {
+        return std::make_unique<CorruptingApp>();
+    });
+
 TEST(VerifyErrorDeath, FailOnVerifyErrorIsFatalByDefault)
 {
     ExperimentConfig cfg =
         smallConfig(ni::DispatchMode::SingleQueue, 5e6);
     cfg.warmupRpcs = 100;
     cfg.measuredRpcs = 500;
-    CorruptingApp bad;
-    EXPECT_EXIT((void)runExperiment(cfg, bad),
+    cfg.workload = "corrupting";
+    EXPECT_EXIT((void)runExperiment(cfg),
                 ::testing::ExitedWithCode(1),
                 "failed application-level verification");
 }
@@ -555,9 +505,9 @@ TEST(VerifyError, OptOutReportsFailuresInStats)
         smallConfig(ni::DispatchMode::SingleQueue, 5e6);
     cfg.warmupRpcs = 100;
     cfg.measuredRpcs = 500;
+    cfg.workload = "corrupting";
     cfg.failOnVerifyError = false;
-    CorruptingApp bad;
-    const RunStats r = runExperiment(cfg, bad);
+    const RunStats r = runExperiment(cfg);
     EXPECT_GT(r.verifyFailures, 0u);
 }
 

@@ -17,7 +17,6 @@
 
 #include <gtest/gtest.h>
 
-#include "app/herd_app.hh"
 #include "core/experiment.hh"
 
 namespace {
@@ -35,8 +34,7 @@ runConfig(const std::string &policy, const std::string &arrival)
         cfg.system.policy = ni::PolicySpec::parse(policy);
     if (!arrival.empty())
         cfg.arrival = net::ArrivalSpec::parse(arrival);
-    app::HerdApp app;
-    return core::runExperiment(cfg, app);
+    return core::runExperiment(cfg); // cfg.workload defaults to "herd"
 }
 
 TEST(KernelIdentity, DefaultConfigMatchesPriorityQueueKernel)

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "net/arrival.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace {
 
@@ -28,7 +28,7 @@ using net::ArrivalDriver;
 using net::ArrivalProcess;
 using net::ArrivalRegistry;
 using net::ArrivalSpec;
-using sim::Simulator;
+using Simulator = sim::EventDomain;
 
 net::ArrivalProcessPtr
 make(const std::string &spec, double rate)

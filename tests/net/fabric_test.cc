@@ -8,13 +8,13 @@
 #include <vector>
 
 #include "net/fabric.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace {
 
 using namespace rpcvalet;
 using net::Fabric;
-using sim::Simulator;
+using Simulator = sim::EventDomain;
 using sim::Tick;
 using sim::nanoseconds;
 

@@ -12,14 +12,14 @@
 #include "app/synthetic_app.hh"
 #include "net/fabric.hh"
 #include "net/traffic_gen.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace {
 
 using namespace rpcvalet;
 using net::Fabric;
 using net::TrafficGenerator;
-using sim::Simulator;
+using Simulator = sim::EventDomain;
 using sim::nanoseconds;
 
 proto::MessagingDomain

@@ -12,13 +12,13 @@
 #include "mem/buffers.hh"
 #include "ni/backend.hh"
 #include "proto/packet.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace {
 
 using namespace rpcvalet;
 using ni::NiBackend;
-using sim::Simulator;
+using Simulator = sim::EventDomain;
 using sim::Tick;
 using sim::nanoseconds;
 

@@ -9,13 +9,13 @@
 #include <vector>
 
 #include "ni/dispatcher.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace {
 
 using namespace rpcvalet;
 using ni::Dispatcher;
-using sim::Simulator;
+using Simulator = sim::EventDomain;
 using sim::nanoseconds;
 
 proto::CompletionQueueEntry

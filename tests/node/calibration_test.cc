@@ -7,9 +7,6 @@
 
 #include <gtest/gtest.h>
 
-#include "app/herd_app.hh"
-#include "app/masstree_app.hh"
-#include "app/synthetic_app.hh"
 #include "core/experiment.hh"
 
 namespace {
@@ -17,14 +14,15 @@ namespace {
 using namespace rpcvalet;
 
 core::RunStats
-lowLoadRun(app::RpcApplication &app, double rps = 0.2e6)
+lowLoadRun(const app::WorkloadSpec &workload, double rps = 0.2e6)
 {
     core::ExperimentConfig cfg;
+    cfg.workload = workload;
     cfg.arrivalRps = rps; // ~1% load: effectively unqueued
     cfg.warmupRpcs = 200;
     cfg.measuredRpcs = 3000;
     cfg.system.seed = 7;
-    return core::runExperiment(cfg, app);
+    return core::runExperiment(cfg);
 }
 
 TEST(Calibration, SingleRpcLatencyBudget)
@@ -35,8 +33,7 @@ TEST(Calibration, SingleRpcLatencyBudget)
     // (<=12 ns mesh + QP), and the §5 loop steps through replenish
     // post (200 ns minus loop overhead). Total ~820-840 ns; assert a
     // tight but robust band.
-    app::SyntheticApp app(sim::SyntheticKind::Fixed);
-    const auto r = lowLoadRun(app);
+    const auto r = lowLoadRun("synthetic:dist=fixed");
     EXPECT_GT(r.point.p50Ns, 780.0);
     EXPECT_LT(r.point.p50Ns, 900.0);
     // Unqueued: p99 is within a whisker of p50 for fixed service.
@@ -46,29 +43,26 @@ TEST(Calibration, SingleRpcLatencyBudget)
 TEST(Calibration, HerdServiceTimeMatchesPaper)
 {
     // §6.1: "a resulting S-bar of ~550 ns" for HERD.
-    app::HerdApp app;
-    const auto r = lowLoadRun(app, 1e6);
+    const auto r = lowLoadRun("herd", 1e6);
     EXPECT_NEAR(r.meanServiceNs, 550.0, 40.0);
 }
 
 TEST(Calibration, HerdPeakThroughputNearPaper)
 {
     // §6.1: 1x16 delivers ~29 Mrps at saturation (16 cores / 550 ns).
-    app::HerdApp app;
     core::ExperimentConfig cfg;
     cfg.arrivalRps = 80e6; // overload; throughput caps at capacity
     cfg.warmupRpcs = 5000;
     cfg.measuredRpcs = 60000;
     cfg.system.seed = 7;
-    const auto r = core::runExperiment(cfg, app);
+    const auto r = core::runExperiment(cfg);
     EXPECT_GT(r.point.achievedRps, 25e6);
     EXPECT_LT(r.point.achievedRps, 32e6);
 }
 
 TEST(Calibration, SyntheticServiceTimeIsProcessingPlusOverhead)
 {
-    app::SyntheticApp app(sim::SyntheticKind::Fixed);
-    const auto r = lowLoadRun(app);
+    const auto r = lowLoadRun("synthetic:dist=fixed");
     // 600 ns processing + 220 ns loop overhead.
     EXPECT_NEAR(r.meanServiceNs, 820.0, 30.0);
 }
@@ -77,13 +71,13 @@ TEST(Calibration, MasstreeGetServiceNearPaperSlo)
 {
     // The paper sets Masstree's SLO at 12.5 us = 10x the ~1.25 us get
     // service time; our S-bar over gets is processing + overhead.
-    app::MasstreeApp app;
     core::ExperimentConfig cfg;
+    cfg.workload = "masstree";
     cfg.arrivalRps = 0.2e6;
     cfg.warmupRpcs = 100;
     cfg.measuredRpcs = 2000;
     cfg.system.seed = 7;
-    const auto r = core::runExperiment(cfg, app);
+    const auto r = core::runExperiment(cfg);
     // Mean over all RPCs includes 1% scans; the critical-only mean
     // latency at low load reflects gets: ~1.25 us + overhead + path.
     EXPECT_GT(r.point.meanNs, 1300.0);
@@ -95,8 +89,7 @@ TEST(Calibration, LatencyMeasuredFirstPacketToReplenish)
     // The measured latency must exceed the service time by the
     // NI + dispatch path (tens of ns), not by an RTT: confirms we
     // clock from first-packet arrival, not from client send.
-    app::SyntheticApp app(sim::SyntheticKind::Fixed);
-    const auto r = lowLoadRun(app);
+    const auto r = lowLoadRun("synthetic:dist=fixed");
     EXPECT_GT(r.point.p50Ns, r.meanServiceNs * 0.9);
     EXPECT_LT(r.point.p50Ns, r.meanServiceNs + 150.0);
 }

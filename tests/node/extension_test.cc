@@ -7,11 +7,8 @@
 
 #include <gtest/gtest.h>
 
-#include <memory>
-
-#include "app/masstree_app.hh"
-#include "app/synthetic_app.hh"
 #include "core/experiment.hh"
+#include "sim/logging.hh"
 
 namespace {
 
@@ -22,15 +19,14 @@ using namespace rpcvalet;
 core::RunStats
 runWithRequestBytes(std::uint32_t padding, double rps = 2e6)
 {
-    auto app =
-        std::make_unique<app::SyntheticApp>(sim::SyntheticKind::Fixed);
-    app->setRequestPaddingBytes(padding);
     core::ExperimentConfig cfg;
+    cfg.workload = sim::strfmt("synthetic:dist=fixed,padding=%u",
+                               padding);
     cfg.arrivalRps = rps;
     cfg.warmupRpcs = 500;
     cfg.measuredRpcs = 5000;
     cfg.system.seed = 21;
-    return core::runExperiment(cfg, *app);
+    return core::runExperiment(cfg);
 }
 
 TEST(Rendezvous, SmallRequestsStayInline)
@@ -77,16 +73,14 @@ TEST(Rendezvous, WorksInEveryDispatchMode)
     for (const auto mode :
          {ni::DispatchMode::SingleQueue, ni::DispatchMode::PerBackendGroup,
           ni::DispatchMode::StaticHash, ni::DispatchMode::SoftwarePull}) {
-        auto app = std::make_unique<app::SyntheticApp>(
-            sim::SyntheticKind::Fixed);
-        app->setRequestPaddingBytes(4000);
         core::ExperimentConfig cfg;
+        cfg.workload = "synthetic:dist=fixed,padding=4000";
         cfg.system.mode = mode;
         cfg.system.seed = 22;
         cfg.arrivalRps = 2e6;
         cfg.warmupRpcs = 200;
         cfg.measuredRpcs = 3000;
-        const auto r = core::runExperiment(cfg, *app);
+        const auto r = core::runExperiment(cfg);
         EXPECT_EQ(r.verifyFailures, 0u)
             << ni::dispatchModeName(mode);
         EXPECT_GT(r.rendezvousRequests, 0u);
@@ -98,14 +92,14 @@ TEST(Rendezvous, WorksInEveryDispatchMode)
 core::RunStats
 runMasstree(sim::Tick quantum, double rps, std::uint64_t rpcs = 12000)
 {
-    app::MasstreeApp app;
     core::ExperimentConfig cfg;
+    cfg.workload = "masstree";
     cfg.system.preemptionQuantum = quantum;
     cfg.system.seed = 23;
     cfg.arrivalRps = rps;
     cfg.warmupRpcs = 500;
     cfg.measuredRpcs = rpcs;
-    return core::runExperiment(cfg, app);
+    return core::runExperiment(cfg);
 }
 
 TEST(Preemption, DisabledByDefault)
@@ -150,14 +144,14 @@ TEST(Preemption, ThroughputNotCollapsedByOverheads)
 
 TEST(Preemption, NoEffectOnShortRpcWorkloads)
 {
-    app::SyntheticApp app(sim::SyntheticKind::Gev);
     core::ExperimentConfig cfg;
+    cfg.workload = "synthetic:dist=gev";
     cfg.system.preemptionQuantum = sim::microseconds(15.0);
     cfg.system.seed = 24;
     cfg.arrivalRps = 10e6;
     cfg.warmupRpcs = 500;
     cfg.measuredRpcs = 10000;
-    const auto r = core::runExperiment(cfg, app);
+    const auto r = core::runExperiment(cfg);
     // GEV tail rarely exceeds 15 us; yields are essentially absent.
     EXPECT_LT(r.preemptionYields, 10u);
 }
@@ -166,13 +160,13 @@ TEST(Preemption, NoEffectOnShortRpcWorkloads)
 
 TEST(Breakdown, ComponentsSumNearTotalMean)
 {
-    app::SyntheticApp app(sim::SyntheticKind::Fixed);
     core::ExperimentConfig cfg;
+    cfg.workload = "synthetic:dist=fixed";
     cfg.system.seed = 25;
     cfg.arrivalRps = 10e6;
     cfg.warmupRpcs = 0; // breakdown has no warmup; align the recorders
     cfg.measuredRpcs = 20000;
-    const auto r = core::runExperiment(cfg, app);
+    const auto r = core::runExperiment(cfg);
     const double sum = r.breakdown.reassembly.meanNs +
                        r.breakdown.dispatch.meanNs +
                        r.breakdown.queueWait.meanNs +
@@ -187,14 +181,14 @@ TEST(Breakdown, QueueingLivesInDispatchForSingleQueue)
     // dispatch component and cores see none. (Threshold 2 moves up to
     // one RPC per core into the private CQ by design — the prefetch
     // that hides the dispatch bubble.)
-    app::SyntheticApp app(sim::SyntheticKind::Exponential);
     core::ExperimentConfig cfg;
+    cfg.workload = "synthetic:dist=exponential";
     cfg.system.seed = 26;
     cfg.system.outstandingPerCore = 1;
     cfg.arrivalRps = 17e6; // ~87% load
     cfg.warmupRpcs = 1000;
     cfg.measuredRpcs = 20000;
-    const auto r = core::runExperiment(cfg, app);
+    const auto r = core::runExperiment(cfg);
     EXPECT_GT(r.breakdown.dispatch.meanNs, 50.0);
     EXPECT_LT(r.breakdown.queueWait.meanNs, 5.0);
 }
@@ -203,14 +197,14 @@ TEST(Breakdown, QueueingLivesAtCoresForStaticHash)
 {
     // 16x1 pushes immediately: dispatch is constant-latency and all
     // queueing shows up in the private CQs.
-    app::SyntheticApp app(sim::SyntheticKind::Exponential);
     core::ExperimentConfig cfg;
+    cfg.workload = "synthetic:dist=exponential";
     cfg.system.mode = ni::DispatchMode::StaticHash;
     cfg.system.seed = 26;
     cfg.arrivalRps = 15e6;
     cfg.warmupRpcs = 1000;
     cfg.measuredRpcs = 20000;
-    const auto r = core::runExperiment(cfg, app);
+    const auto r = core::runExperiment(cfg);
     EXPECT_LT(r.breakdown.dispatch.meanNs, 50.0);
     EXPECT_GT(r.breakdown.queueWait.meanNs,
               r.breakdown.dispatch.meanNs);

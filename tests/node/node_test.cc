@@ -9,11 +9,10 @@
 #include <numeric>
 
 #include "app/herd_app.hh"
-#include "app/synthetic_app.hh"
 #include "core/experiment.hh"
 #include "net/traffic_gen.hh"
 #include "node/rpc_node.hh"
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 
 namespace {
 
@@ -22,7 +21,7 @@ using namespace rpcvalet;
 /** Directly wire a node + traffic generator for introspection. */
 struct NodeHarness
 {
-    sim::Simulator sim;
+    sim::EventDomain sim;
     net::Fabric fabric;
     app::HerdApp app;
     node::SystemParams params;
@@ -148,8 +147,8 @@ TEST(RpcNode, StaticHashImbalanceExceedsSingleQueue)
         cfg.arrivalRps = 20e6;
         cfg.warmupRpcs = 1000;
         cfg.measuredRpcs = 30000;
-        app::SyntheticApp app(sim::SyntheticKind::Gev);
-        const auto r = core::runExperiment(cfg, app);
+        cfg.workload = "synthetic:dist=gev";
+        const auto r = core::runExperiment(cfg);
         const auto &served = r.perCoreServed;
         const double mean =
             std::accumulate(served.begin(), served.end(), 0.0) /
@@ -177,8 +176,7 @@ TEST(RpcNode, ThresholdOneStillReachesHighThroughput)
         cfg.arrivalRps = 60e6; // overload: measure capacity
         cfg.warmupRpcs = 3000;
         cfg.measuredRpcs = 40000;
-        app::HerdApp app;
-        return core::runExperiment(cfg, app).point.achievedRps;
+        return core::runExperiment(cfg).point.achievedRps;
     };
     const double thr1 = capacity(1);
     const double thr2 = capacity(2);
@@ -196,8 +194,7 @@ TEST(RpcNode, GroupedModeConfinesDispatchToGroups)
     cfg.arrivalRps = 15e6;
     cfg.warmupRpcs = 1000;
     cfg.measuredRpcs = 20000;
-    app::HerdApp app;
-    const auto r = core::runExperiment(cfg, app);
+    const auto r = core::runExperiment(cfg);
     for (auto served : r.perCoreServed)
         EXPECT_GT(served, 500u);
 }
@@ -216,8 +213,7 @@ TEST(RpcNode, AllPoliciesServeCorrectlyUnderLoad)
         cfg.arrivalRps = 20e6;
         cfg.warmupRpcs = 1000;
         cfg.measuredRpcs = 20000;
-        app::HerdApp app;
-        const auto r = core::runExperiment(cfg, app);
+        const auto r = core::runExperiment(cfg);
         EXPECT_EQ(r.verifyFailures, 0u) << policy;
         EXPECT_NEAR(r.point.achievedRps, 20e6, 20e6 * 0.06) << policy;
     }
@@ -232,8 +228,8 @@ TEST(RpcNode, GreedyPolicyHasBestTailAmongPaperPolicies)
         cfg.arrivalRps = 17e6;
         cfg.warmupRpcs = 1000;
         cfg.measuredRpcs = 25000;
-        app::SyntheticApp app(sim::SyntheticKind::Gev);
-        return core::runExperiment(cfg, app).point.p99Ns;
+        cfg.workload = "synthetic:dist=gev";
+        return core::runExperiment(cfg).point.p99Ns;
     };
     const double greedy = p99_of("greedy");
     EXPECT_LE(greedy, p99_of("rr") * 1.05);
@@ -252,8 +248,7 @@ TEST(RpcNode, CustomCoreCountWorks)
     cfg.arrivalRps = 40e6;
     cfg.warmupRpcs = 1000;
     cfg.measuredRpcs = 20000;
-    app::HerdApp app;
-    const auto r = core::runExperiment(cfg, app);
+    const auto r = core::runExperiment(cfg);
     EXPECT_EQ(r.verifyFailures, 0u);
     EXPECT_NEAR(r.point.achievedRps, 40e6, 40e6 * 0.06);
     EXPECT_EQ(r.perCoreServed.size(), 64u);

@@ -39,6 +39,7 @@ TEST(ScenarioParse, FullFilePopulatesEveryField)
         "measured = 1000\n"
         "seed     = 7\n"
         "turnaround = 150ns\n"
+        "parallel_domains = 2\n"
         "[cluster]\n"
         "nodes    = 4\n"
         "router   = shard\n"
@@ -67,6 +68,7 @@ TEST(ScenarioParse, FullFilePopulatesEveryField)
     EXPECT_EQ(scn.base.measuredRpcs, 1000u);
     EXPECT_EQ(scn.base.system.seed, 7u);
     EXPECT_EQ(scn.base.clientTurnaround, sim::nanoseconds(150.0));
+    EXPECT_EQ(scn.base.parallelDomains, 2u);
     EXPECT_EQ(scn.base.cluster.numServerNodes, 4u);
     EXPECT_EQ(scn.base.cluster.router.toString(), "shard");
     EXPECT_EQ(scn.base.cluster.shards, 128u);
@@ -156,6 +158,11 @@ TEST(ScenarioParseDeath, ValueValidationFires)
                     "[sweep]\nnodes = 99\n", "bad.scn"),
                 ::testing::ExitedWithCode(1),
                 "node count '99' must be in \\[1, 64\\]");
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[experiment]\nparallel_domains = 4096\n",
+                    "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "'parallel_domains' must be at most 1024");
 }
 
 TEST(ScenarioParseDeath, LoadAxisIsMandatoryAndExclusive)

@@ -9,13 +9,13 @@
 
 #include <vector>
 
-#include "sim/simulator.hh"
+#include "sim/domain.hh"
 #include "sync/mcs_queue.hh"
 
 namespace {
 
 using namespace rpcvalet;
-using sim::Simulator;
+using Simulator = sim::EventDomain;
 using sim::Tick;
 using sim::nanoseconds;
 using sync::McsParams;

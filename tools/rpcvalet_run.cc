@@ -13,6 +13,7 @@
  * Options:
  *   --out=DIR      override the scenario's [output] dir
  *   --threads=N    override the scenario's [sweep] threads
+ *   --parallel-domains=N  override [experiment] parallel_domains
  *   --dry-run      parse and expand only; print the matrix, run nothing
  *   --quiet        suppress the per-point progress table
  *   --strict-slo   exit 1 when any declared SLO is unmet
@@ -44,6 +45,8 @@ usage(std::FILE *f)
         "usage: rpcvalet_run [options] <scenario.scn> [<more.scn> ...]\n"
         "  --out=DIR      override the scenario's [output] dir\n"
         "  --threads=N    override the scenario's [sweep] threads\n"
+        "  --parallel-domains=N  override [experiment] "
+        "parallel_domains (0 = sequential)\n"
         "  --dry-run      expand and print the matrix, run nothing\n"
         "  --quiet        suppress the per-point progress table\n"
         "  --strict-slo   exit 1 when any declared SLO is unmet\n"
@@ -55,6 +58,7 @@ struct Options
 {
     std::string outDir;
     unsigned threads = 0;
+    int parallelDomains = -1; // -1 = keep the scenario's value
     bool dryRun = false;
     bool quiet = false;
     bool strictSlo = false;
@@ -84,6 +88,11 @@ parseArgs(int argc, char **argv)
             if (n < 1 || n > 1024)
                 sim::fatal("--threads must be in [1, 1024]");
             opt.threads = static_cast<unsigned>(n);
+        } else if (arg.rfind("--parallel-domains=", 0) == 0) {
+            const long n = std::strtol(arg.c_str() + 19, nullptr, 10);
+            if (n < 0 || n > 1024)
+                sim::fatal("--parallel-domains must be in [0, 1024]");
+            opt.parallelDomains = static_cast<int>(n);
         } else if (arg == "--dry-run") {
             opt.dryRun = true;
         } else if (arg == "--quiet") {
@@ -130,6 +139,10 @@ runOne(const std::string &path, const Options &opt)
         scn.outputDir = opt.outDir;
     if (opt.threads != 0)
         scn.threads = opt.threads;
+    if (opt.parallelDomains >= 0) {
+        scn.base.parallelDomains =
+            static_cast<unsigned>(opt.parallelDomains);
+    }
 
     const std::vector<scenario::ScenarioPoint> matrix =
         scenario::expandMatrix(scn);
