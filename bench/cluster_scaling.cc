@@ -129,23 +129,51 @@ main(int argc, char **argv)
                                    // checks the count stays zero
     const core::RunStats failed = core::runExperiment(cfg);
 
-    std::printf("%24s %14s %14s\n", "", "healthy", "node-loss");
-    std::printf("%24s %14.2f %14.2f\n", "p99 (us)",
-                healthy.point.p99Ns / 1e3, failed.point.p99Ns / 1e3);
-    std::printf("%24s %14llu %14llu\n", "completions",
+    // Third row: the same node loss with 1% packet loss on top,
+    // recovered by the fault subsystem's retry policy. The claim is
+    // that the failover story survives an unreliable fabric — every
+    // completion still verifies.
+    core::ExperimentConfig lossy_cfg = cfg;
+    lossy_cfg.faults.push_back(
+        fault::FaultSpec("packet-loss:p=0.01"));
+    lossy_cfg.retry.maxAttempts = 6;
+    lossy_cfg.retry.baseBackoff = sim::microseconds(5.0);
+    const core::RunStats lossy = core::runExperiment(lossy_cfg);
+
+    std::printf("%24s %14s %14s %14s\n", "", "healthy", "node-loss",
+                "+1% pkt-loss");
+    std::printf("%24s %14.2f %14.2f %14.2f\n", "p99 (us)",
+                healthy.point.p99Ns / 1e3, failed.point.p99Ns / 1e3,
+                lossy.point.p99Ns / 1e3);
+    std::printf("%24s %14llu %14llu %14llu\n", "completions",
                 static_cast<unsigned long long>(healthy.completions),
-                static_cast<unsigned long long>(failed.completions));
-    std::printf("%24s %14u %14u\n", "nodes down", healthy.nodesDown,
-                failed.nodesDown);
-    std::printf("%24s %14llu %14llu\n", "request timeouts",
+                static_cast<unsigned long long>(failed.completions),
+                static_cast<unsigned long long>(lossy.completions));
+    std::printf("%24s %14u %14u %14u\n", "nodes down",
+                healthy.nodesDown, failed.nodesDown, lossy.nodesDown);
+    std::printf("%24s %14llu %14llu %14llu\n", "request timeouts",
                 static_cast<unsigned long long>(healthy.requestTimeouts),
-                static_cast<unsigned long long>(failed.requestTimeouts));
-    std::printf("%24s %14llu %14llu\n", "failover reroutes",
+                static_cast<unsigned long long>(failed.requestTimeouts),
+                static_cast<unsigned long long>(lossy.requestTimeouts));
+    std::printf("%24s %14llu %14llu %14llu\n", "failover reroutes",
                 static_cast<unsigned long long>(healthy.failoverReroutes),
-                static_cast<unsigned long long>(failed.failoverReroutes));
-    std::printf("%24s %14llu %14llu\n", "stale replies",
+                static_cast<unsigned long long>(failed.failoverReroutes),
+                static_cast<unsigned long long>(lossy.failoverReroutes));
+    std::printf("%24s %14llu %14llu %14llu\n", "stale replies",
                 static_cast<unsigned long long>(healthy.staleReplies),
-                static_cast<unsigned long long>(failed.staleReplies));
+                static_cast<unsigned long long>(failed.staleReplies),
+                static_cast<unsigned long long>(lossy.staleReplies));
+    std::printf("%24s %14llu %14llu %14llu\n", "packets dropped",
+                static_cast<unsigned long long>(
+                    healthy.fault.packetsDropped),
+                static_cast<unsigned long long>(
+                    failed.fault.packetsDropped),
+                static_cast<unsigned long long>(
+                    lossy.fault.packetsDropped));
+    std::printf("%24s %14llu %14llu %14llu\n", "retries",
+                static_cast<unsigned long long>(healthy.fault.retries),
+                static_cast<unsigned long long>(failed.fault.retries),
+                static_cast<unsigned long long>(lossy.fault.retries));
     std::printf("\nper-node served after the loss:");
     for (const core::NodeStats &ns : failed.perNode) {
         std::printf(" node%u=%llu%s", ns.nodeId,
@@ -160,6 +188,10 @@ main(int argc, char **argv)
                  failed.failoverReroutes > 0 ? 1.0 : 0.0, 0.0);
     bench::claim("failover verify failures", 0.0,
                  static_cast<double>(failed.verifyFailures), 0.0);
+    bench::claim("packet loss actually drops packets", 1.0,
+                 lossy.fault.packetsDropped > 0 ? 1.0 : 0.0, 0.0);
+    bench::claim("lossy failover verify failures", 0.0,
+                 static_cast<double>(lossy.verifyFailures), 0.0);
 
     // --- kernel throughput: sequential vs parallel domains ---
     // The same high-load point, run once on the single event wheel

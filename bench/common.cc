@@ -8,6 +8,7 @@
 
 #include "app/workload.hh"
 #include "cluster/router.hh"
+#include "fault/fault.hh"
 #include "net/arrival.hh"
 #include "sim/build_info.hh"
 #include "sim/logging.hh"
@@ -331,6 +332,11 @@ parseArgs(int argc, char **argv)
                            ": expected an integer in [0, 1024]");
             }
             args.parallelDomains = static_cast<unsigned>(parsed);
+        } else if (const char *fault = value("--fault=")) {
+            if (*fault == '\0')
+                sim::fatal("--fault needs a spec (e.g. "
+                           "--fault=packet-loss:p=0.01)");
+            args.faults.emplace_back(fault);
         } else if (const char *router = value("--router="))
             args.router = router;
         else if (const char *policy = value("--policy="))
@@ -445,6 +451,19 @@ applyClusterOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
 }
 
 void
+applyFaultOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
+{
+    for (const std::string &spec : args.faults) {
+        // Instantiating through the registry validates the name and
+        // the shape-independent parameters right here; node/core
+        // ranges are checked when the run resolves the spec.
+        const fault::FaultSpec parsed(spec);
+        (void)fault::FaultRegistry::instance().make(parsed);
+        cfg.faults.push_back(parsed);
+    }
+}
+
+void
 applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg)
 {
     applyModeOverride(args, cfg);
@@ -452,6 +471,7 @@ applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg)
     applyArrivalOverride(args, cfg);
     applyWorkloadOverride(args, cfg);
     applyClusterOverride(args, cfg);
+    applyFaultOverride(args, cfg);
     if (args.parallelDomains > 0)
         cfg.parallelDomains = args.parallelDomains;
 }

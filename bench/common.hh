@@ -53,6 +53,11 @@
  *                 workers (conservative PDES); 0 (default) keeps the
  *                 exact sequential single-wheel path. Applied via
  *                 applyOverrides like the spec flags.
+ *   --fault=SPEC  inject a fault into every experiment (registry
+ *                 string such as "crash:node=0,at=100us" or
+ *                 "packet-loss:p=0.01"); repeatable — each occurrence
+ *                 adds one fault. Applied via applyOverrides; fatal on
+ *                 an unknown name or malformed parameters.
  *   --json=FILE   write results (series, claims, args, perf) as JSON
  *                 at exit — the machine-readable feed behind CI's
  *                 bench-results artifact and the BENCH_*.json perf
@@ -104,6 +109,9 @@ struct BenchArgs
     /** Domain workers per experiment (conservative PDES); 0 = the
      *  sequential single-wheel path. Fatal unless in [0, 1024]. */
     unsigned parallelDomains = 0;
+    /** Fault specs injected into every experiment (--fault=, one spec
+     *  per occurrence); empty = no injected faults. */
+    std::vector<std::string> faults;
     /** JSON results path; empty = no JSON output. */
     std::string json;
 };
@@ -142,6 +150,14 @@ void applyModeOverride(const BenchArgs &args,
  */
 void applyClusterOverride(const BenchArgs &args,
                           core::ExperimentConfig &cfg);
+
+/**
+ * Append every --fault spec to @p cfg.faults (fatal on an unknown
+ * fault name or malformed parameters; node/core range checks run when
+ * the experiment resolves the specs against its cluster shape).
+ */
+void applyFaultOverride(const BenchArgs &args,
+                        core::ExperimentConfig &cfg);
 
 /**
  * Apply every declarative override (--mode, --policy, --arrival,

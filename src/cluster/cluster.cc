@@ -22,6 +22,13 @@ ClusterConfig::validate() const
             "nodes",
             failNode, numServerNodes));
     }
+    if (sweepInterval > 0 && requestTimeout == 0) {
+        sim::fatal(sim::strfmt(
+            "cluster config: sweepInterval %llu requires "
+            "requestTimeout > 0 — without timeouts there is no sweep "
+            "to tune",
+            static_cast<unsigned long long>(sweepInterval)));
+    }
     if (failNode >= 0 && requestTimeout == 0) {
         sim::fatal(sim::strfmt(
             "cluster config: failNode %d requires requestTimeout > 0 — "

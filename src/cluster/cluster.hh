@@ -50,6 +50,15 @@ struct ClusterConfig
      *  (0 = stays down once marked). */
     sim::Tick recoveryAfter = 0;
 
+    /**
+     * Timeout-sweep period in ticks. 0 (the default) derives it from
+     * the request timeout: max(1, requestTimeout / 4). Sub-µs timeout
+     * experiments can pin it explicitly so detection latency is not
+     * quantized by the sweep; setting it without a request timeout is
+     * rejected (there is no sweep to tune).
+     */
+    sim::Tick sweepInterval = 0;
+
     /** Fault injection: server index to force-fail (-1 = none). */
     std::int32_t failNode = -1;
 

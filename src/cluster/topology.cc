@@ -57,7 +57,14 @@ void
 HealthTracker::reportSuccess(std::uint32_t node)
 {
     RV_ASSERT(node < nodes_.size(), "health report for unknown node");
-    nodes_[node].consecutiveFailures = 0;
+    State &s = nodes_[node];
+    s.consecutiveFailures = 0;
+    if (s.down && s.probing) {
+        // The canary came back: the node is genuinely serving again.
+        s.down = false;
+        s.probing = false;
+        s.canaryInFlight = false;
+    }
 }
 
 bool
@@ -68,6 +75,16 @@ HealthTracker::reportFailure(std::uint32_t node, sim::Tick now)
     // starts from a clean slate.
     (void)isUp(node, now);
     State &s = nodes_[node];
+    if (s.down && s.probing) {
+        // The canary (or a straggler from before the mark-down) timed
+        // out: the node is still dead. Back to fully down, recovery
+        // clock restarted.
+        s.probing = false;
+        s.canaryInFlight = false;
+        s.downSince = now;
+        s.consecutiveFailures = failThreshold_;
+        return false;
+    }
     ++s.consecutiveFailures;
     if (!s.down && s.consecutiveFailures >= failThreshold_) {
         s.down = true;
@@ -76,6 +93,15 @@ HealthTracker::reportFailure(std::uint32_t node, sim::Tick now)
         return true;
     }
     return false;
+}
+
+void
+HealthTracker::noteRouted(std::uint32_t node)
+{
+    RV_ASSERT(node < nodes_.size(), "health report for unknown node");
+    State &s = nodes_[node];
+    if (s.down && s.probing && !s.canaryInFlight)
+        s.canaryInFlight = true;
 }
 
 void
@@ -88,6 +114,11 @@ HealthTracker::markDown(std::uint32_t node, sim::Tick now)
         s.downSince = now;
         s.consecutiveFailures = failThreshold_;
         ++downTransitions_;
+    } else {
+        // Re-marking a probing node cancels the probe.
+        s.probing = false;
+        s.canaryInFlight = false;
+        s.downSince = now;
     }
 }
 
@@ -96,14 +127,16 @@ HealthTracker::isUp(std::uint32_t node, sim::Tick now) const
 {
     RV_ASSERT(node < nodes_.size(), "health query for unknown node");
     State &s = nodes_[node];
-    if (s.down && recoveryAfter_ > 0 &&
+    if (s.down && !s.probing && recoveryAfter_ > 0 &&
         now >= s.downSince + recoveryAfter_) {
-        // Optimistic recovery: put the node back in rotation; if it is
-        // still broken, the next failure streak takes it down again.
-        s.down = false;
-        s.consecutiveFailures = 0;
+        // Recovery elapsed: do NOT flip healthy on the timer alone —
+        // open a probe window instead. The next routed request is the
+        // canary (noteRouted), and only its success clears `down`.
+        s.probing = true;
+        s.canaryInFlight = false;
     }
-    return !s.down;
+    // A probing node is routable exactly until its canary departs.
+    return !s.down || (s.probing && !s.canaryInFlight);
 }
 
 std::uint32_t

@@ -15,7 +15,10 @@
  *  - HealthTracker  marks a node down after K *consecutive* failures
  *                   (timeouts), with optional time-based recovery —
  *                   the failover model of the rpc-load-balancer
- *                   exemplar (SNIPPETS.md Snippet 1)
+ *                   exemplar (SNIPPETS.md Snippet 1). Recovery is
+ *                   probed, not assumed: the first post-recovery
+ *                   request is a canary, and the node rejoins the
+ *                   rotation only when it succeeds.
  */
 
 #ifndef RPCVALET_CLUSTER_TOPOLOGY_HH
@@ -65,10 +68,14 @@ class ShardMap
  * Per-node health with consecutive-failure mark-down.
  *
  * A node goes down after @p fail_threshold consecutive reported
- * failures (any success resets the streak) and — when a recovery
- * interval is configured — comes back up after that much simulated
- * time, giving it a probation window in which a single further failure
- * streak marks it down again.
+ * failures (any success resets the streak). When a recovery interval
+ * is configured, a down node becomes *probeable* after that much
+ * simulated time: isUp() returns true just long enough for the router
+ * to send one canary request (noteRouted() marks it in flight), and
+ * the node rejoins the rotation only when that canary succeeds. A
+ * failed canary puts the node back down and restarts the recovery
+ * clock — a still-dead node can never re-absorb a full load share on
+ * a timer alone.
  */
 class HealthTracker
 {
@@ -83,8 +90,17 @@ class HealthTracker
     HealthTracker(std::uint32_t num_nodes, std::uint32_t fail_threshold,
                   sim::Tick recovery_after);
 
-    /** A request to @p node completed: reset its failure streak. */
+    /** A request to @p node completed: reset its failure streak. A
+     *  probing node's canary success marks it healthy again. */
     void reportSuccess(std::uint32_t node);
+
+    /**
+     * A request was actually routed to @p node. For a probing node
+     * this is the canary going out: isUp() returns false until the
+     * probe resolves (success or failure), so exactly one request at
+     * a time tests a recovering node. No-op for healthy nodes.
+     */
+    void noteRouted(std::uint32_t node);
 
     /**
      * A request to @p node failed (timeout). Returns true when this
@@ -109,6 +125,10 @@ class HealthTracker
     {
         std::uint32_t consecutiveFailures = 0;
         bool down = false;
+        /** Recovery elapsed; the node may receive one canary. */
+        bool probing = false;
+        /** The canary request is out, awaiting its verdict. */
+        bool canaryInFlight = false;
         sim::Tick downSince = 0;
     };
 

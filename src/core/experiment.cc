@@ -8,6 +8,8 @@
 #include "cluster/router.hh"
 #include "cluster/topology.hh"
 #include "core/parallel.hh"
+#include "fault/fault.hh"
+#include "fault/packet_faults.hh"
 #include "net/traffic_gen.hh"
 #include "node/rpc_node.hh"
 #include "sim/domain.hh"
@@ -92,11 +94,27 @@ RunStats
 runClusterExperiment(const ExperimentConfig &cfg)
 {
     cfg.cluster.validate();
+    cfg.retry.validate(cfg.cluster.requestTimeout);
     RV_ASSERT(cfg.arrivalRps > 0.0, "arrival rate must be positive");
     RV_ASSERT(cfg.measuredRpcs > 0, "need at least one measured RPC");
     const std::uint32_t numServers = cfg.cluster.numServerNodes;
     const bool par = cfg.parallelDomains > 0;
     const sim::Tick lookahead = cfg.system.fabricLatency;
+
+    // Resolve the fault list against the cluster shape before
+    // anything is built, so a bad spec dies here with the full
+    // registry listing, not mid-run. The resolved timeline depends
+    // only on the specs and the shape — never on execution order.
+    const fault::Resolution faultPlan = fault::resolveFaults(
+        effectiveFaults(cfg),
+        fault::ResolveContext{numServers, cfg.system.numCores, par});
+    if (faultPlan.dropsPackets() && cfg.cluster.requestTimeout == 0) {
+        sim::fatal(
+            "packet-loss faults need a request timeout "
+            "(cluster.timeout / [cluster] timeout): a dropped request "
+            "or reply is only recovered by the client's timeout-driven "
+            "retry, so without one the run cannot complete");
+    }
 
     // Domain layout: [0] the client/traffic side, [1 .. numServers]
     // one per server node. Sequential runs put everything on one
@@ -132,6 +150,18 @@ runClusterExperiment(const ExperimentConfig &cfg)
     }
     net::Fabric &fabric = *fabricPtr;
 
+    // Packet faults perturb every send at the fabric boundary. Per-
+    // domain Rng lanes keep draw order deterministic under parallel
+    // execution, and extra delay is additive-only, so the lookahead
+    // invariant holds with faults active.
+    std::unique_ptr<fault::PacketFaults> packetFaults;
+    if (!faultPlan.packet.empty()) {
+        packetFaults = std::make_unique<fault::PacketFaults>(
+            faultPlan.packet, par ? numServers + 1 : 1, cfg.system.seed,
+            cfg.system.nodeId, numServers);
+        fabric.setPerturber(packetFaults.get());
+    }
+
     // Construction-time registry lookups: every spec (workload,
     // router, arrival inside the traffic generator) resolves here on
     // the calling thread, before any domain worker exists — no static
@@ -152,6 +182,13 @@ runClusterExperiment(const ExperimentConfig &cfg)
         // tie-breaks) without touching node 0's stream.
         if (i > 0)
             sys.seed = cfg.system.seed + 0x51D * i;
+        // With loss faults a dropped reply starves its mirrored slot's
+        // replenish forever; the lease (2x the client timeout, far
+        // beyond any legitimate credit-return delay) lets the server
+        // evict the dead occupant instead of spinning a core for the
+        // rest of the run. Fault-free runs keep the legacy wait.
+        if (faultPlan.dropsPackets())
+            sys.replySlotLease = 2 * cfg.cluster.requestTimeout;
         sys.validate();
         apps.push_back(
             app::WorkloadRegistry::instance().make(cfg.workload));
@@ -164,6 +201,13 @@ runClusterExperiment(const ExperimentConfig &cfg)
         if (par)
             fabric.assignNode(sys.nodeId, i + 1);
     }
+    const std::vector<std::pair<sim::Tick, sim::Tick>> degraded =
+        faultPlan.degradedWindows();
+    if (!degraded.empty()) {
+        for (auto &n : nodes)
+            n->setDegradedWindows(degraded);
+    }
+
     const app::RpcApplicationPtr clientApp =
         app::WorkloadRegistry::instance().make(cfg.workload);
 
@@ -191,6 +235,8 @@ runClusterExperiment(const ExperimentConfig &cfg)
     tp.numServers = numServers;
     tp.clientTurnaround = cfg.clientTurnaround;
     tp.requestTimeout = cfg.cluster.requestTimeout;
+    tp.sweepInterval = cfg.cluster.sweepInterval;
+    tp.retry = cfg.retry;
     if (par)
         tp.arrivalBatchWindow = lookahead;
     tp.seed = cfg.system.seed;
@@ -227,14 +273,27 @@ runClusterExperiment(const ExperimentConfig &cfg)
         });
     }
 
-    if (cfg.cluster.failNode >= 0) {
-        const auto victim_idx =
-            static_cast<std::uint32_t>(cfg.cluster.failNode);
-        node::RpcNode *victim = nodes[victim_idx].get();
-        serverSim(victim_idx)
-            .schedule(cfg.cluster.failAt,
-                      [victim] { victim->setFailed(true); });
-    }
+    // Timed faults arm as plain events on each victim node's own
+    // domain wheel, at the exact setup position the legacy failNode
+    // shim used — a bare crash reproduces the pre-fault event schedule
+    // tick for tick.
+    fault::FaultScheduler faultScheduler(
+        faultPlan,
+        fault::FaultScheduler::Hooks{
+            [&nodes](std::uint32_t n, bool failed) {
+                nodes[n]->setFailed(failed);
+            },
+            [&nodes](std::uint32_t n, sim::Tick until) {
+                nodes[n]->stallNi(until);
+            },
+            [&nodes](std::uint32_t n, std::uint32_t core,
+                     double factor) {
+                nodes[n]->setCoreSlowdown(core, factor);
+            }});
+    faultScheduler.arm(
+        [&](std::uint32_t i) -> sim::EventDomain & {
+            return serverSim(i);
+        });
 
     for (auto &n : nodes)
         n->start();
@@ -383,6 +442,7 @@ runClusterExperiment(const ExperimentConfig &cfg)
         out.completions += n.served();
         out.criticalCompletions += n.servedCritical();
         out.replySlotStalls += n.replySlotStalls();
+        out.fault.replySlotEvictions += n.replySlotEvictions();
         out.rendezvousRequests = tg.rendezvousRequests();
         out.preemptionYields += n.preemptionYields();
         out.recvSlotPeak =
@@ -427,7 +487,39 @@ runClusterExperiment(const ExperimentConfig &cfg)
     out.nestedRpcsSent = tg.nestedSent();
     out.chainsCompleted = tg.chainsCompleted();
 
-    checkVerifyFailures(cfg, out);
+    out.fault.retries = tg.retries();
+    out.fault.retryDrops = tg.retryDrops();
+    out.fault.hedgesSent = tg.hedgesSent();
+    out.fault.hedgesWon = tg.hedgesWon();
+    out.fault.duplicateReplies = tg.duplicateReplies();
+    if (packetFaults != nullptr) {
+        out.fault.packetsDropped = packetFaults->dropped();
+        out.fault.packetsDelayed = packetFaults->delayed();
+        out.fault.packetsCorrupted = packetFaults->corrupted();
+    }
+    out.fault.activations = faultPlan.timeline;
+    if (!degraded.empty()) {
+        stats::LatencyRecorder deg(0);
+        stats::LatencyRecorder healthy(0);
+        for (const auto &n : nodes) {
+            for (const sim::Tick t : n->degradedCritical().samples())
+                deg.record(t);
+            for (const sim::Tick t : n->healthyCritical().samples())
+                healthy.record(t);
+        }
+        out.fault.degradedP99Ns = deg.percentileNs(99.0);
+        out.fault.degradedSamples = deg.count();
+        out.fault.healthyP99Ns = healthy.percentileNs(99.0);
+        out.fault.healthySamples = healthy.count();
+    }
+
+    // Under injected corruption, failed verifications are the expected
+    // signal (the client-side checksum caught the flipped byte), not a
+    // simulator bug — report them as detections instead of dying.
+    if (faultPlan.corruptsReplies())
+        out.fault.corruptionsDetected = out.verifyFailures;
+    else
+        checkVerifyFailures(cfg, out);
     return out;
 }
 
@@ -442,6 +534,7 @@ runSingleNodeExperiment(const ExperimentConfig &cfg,
 {
     cfg.system.validate();
     cfg.cluster.validate();
+    cfg.retry.validate(cfg.cluster.requestTimeout);
     // Validate the router spec even though a single-node run never
     // consults it: a typo should die here, not when the config is
     // later scaled up.
@@ -570,10 +663,28 @@ totalSimulatedEvents()
     return g_simulatedEvents.load(std::memory_order_relaxed);
 }
 
+std::vector<fault::FaultSpec>
+effectiveFaults(const ExperimentConfig &cfg)
+{
+    std::vector<fault::FaultSpec> specs = cfg.faults;
+    if (cfg.cluster.failNode >= 0) {
+        // Legacy shim: the old hard-coded (failNode, failAt) pair is
+        // just a crash fault with no recovery.
+        specs.emplace_back(
+            sim::strfmt("crash:node=%d,at=%.3fns", cfg.cluster.failNode,
+                        sim::toNs(cfg.cluster.failAt)));
+    }
+    return specs;
+}
+
 RunStats
 runExperiment(const ExperimentConfig &cfg)
 {
-    if (cfg.cluster.numServerNodes > 1 || cfg.parallelDomains > 0)
+    // Any fault or active retry policy routes through the cluster
+    // path — the single-node fast path has no fabric perturbation or
+    // timeout sweep to hang them on.
+    if (cfg.cluster.numServerNodes > 1 || cfg.parallelDomains > 0 ||
+        !cfg.faults.empty() || cfg.retry.active())
         return runClusterExperiment(cfg);
     const app::RpcApplicationPtr app =
         app::WorkloadRegistry::instance().make(cfg.workload);

@@ -52,6 +52,7 @@
 #include "app/rpc_application.hh"
 #include "app/workload.hh"
 #include "cluster/cluster.hh"
+#include "fault/fault.hh"
 #include "net/arrival.hh"
 #include "node/params.hh"
 #include "stats/series.hh"
@@ -95,6 +96,25 @@ struct ExperimentConfig
      * node's NI picks the core.
      */
     cluster::ClusterConfig cluster{};
+    /**
+     * Fault injection: fault specs resolved through the
+     * fault::FaultRegistry and armed before the run starts — e.g.
+     * "crash:node=3,at=100us,recover_after=300us",
+     * "packet-loss:p=0.01". Empty (the default) injects nothing and
+     * keeps the run bit-identical to a fault-free build. Any fault
+     * routes the run through the cluster path (timed faults need
+     * per-node scheduling), so single-node configs with faults pay the
+     * cluster harness's (identical-result) setup.
+     */
+    std::vector<fault::FaultSpec> faults;
+    /**
+     * Client-side recovery policy for timed-out requests: exponential
+     * backoff against an attempt budget, optional hedged duplicate
+     * sends (see fault::RetryPolicy). The defaults reproduce the
+     * legacy unlimited-immediate-redispatch behavior bit-identically.
+     * An active policy requires cluster.requestTimeout > 0.
+     */
+    fault::RetryPolicy retry{};
     /** Completions discarded before measurement starts. */
     std::uint64_t warmupRpcs = 20000;
     /** Completions measured after warmup. */
@@ -200,6 +220,42 @@ struct NodeStats
     std::vector<std::uint64_t> perCoreServed;
 };
 
+/** Fault-injection and recovery accounting of one run. */
+struct FaultStats
+{
+    /** Timed-out requests re-dispatched under the retry policy. */
+    std::uint64_t retries = 0;
+    /** Requests abandoned after exhausting the attempt budget. */
+    std::uint64_t retryDrops = 0;
+    /** Hedged duplicate sends issued. */
+    std::uint64_t hedgesSent = 0;
+    /** Hedge races the duplicate won. */
+    std::uint64_t hedgesWon = 0;
+    /** Replies from the losing half of a hedge race. */
+    std::uint64_t duplicateReplies = 0;
+    /** Packets dropped by packet-loss faults. */
+    std::uint64_t packetsDropped = 0;
+    /** Packets that paid packet-delay extra latency. */
+    std::uint64_t packetsDelayed = 0;
+    /** Reply payloads corrupted in flight. */
+    std::uint64_t packetsCorrupted = 0;
+    /** Corruptions the client's reply verification caught. */
+    std::uint64_t corruptionsDetected = 0;
+    /** Dead reply-slot occupants servers evicted after the reply-slot
+     *  lease expired (their replies were lost to packet loss). */
+    std::uint64_t replySlotEvictions = 0;
+    /** The run's resolved fault activation log, in (time, declaration)
+     *  order — deterministic across sequential and parallel runs. */
+    std::vector<fault::Activation> activations;
+    /** p99 of latency-critical RPCs completed inside / outside the
+     *  union of timed fault windows (0 when no samples landed there).
+     *  Only populated when timed faults declare windows. */
+    double degradedP99Ns = 0.0;
+    std::uint64_t degradedSamples = 0;
+    double healthyP99Ns = 0.0;
+    std::uint64_t healthySamples = 0;
+};
+
 /** Results of one run. */
 struct RunStats
 {
@@ -256,6 +312,9 @@ struct RunStats
     std::uint64_t nestedRpcsSent = 0;
     /** Nested-RPC chain groups whose every member completed. */
     std::uint64_t chainsCompleted = 0;
+    /** Fault-injection / recovery accounting (all zero and empty in
+     *  fault-free runs). */
+    FaultStats fault;
 };
 
 /**
@@ -266,6 +325,14 @@ struct RunStats
  * per-node statistics into cluster totals.
  */
 RunStats runExperiment(const ExperimentConfig &cfg);
+
+/**
+ * The fault list a run actually injects: cfg.faults plus the legacy
+ * ClusterConfig (failNode, failAt) pair synthesized as a crash spec.
+ * Resolve against the cluster shape for the static activation
+ * timeline (used by runExperiment and rpcvalet_run --explain-faults).
+ */
+std::vector<fault::FaultSpec> effectiveFaults(const ExperimentConfig &cfg);
 
 /** Configuration of a load sweep. */
 struct SweepConfig

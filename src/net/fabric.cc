@@ -86,8 +86,27 @@ Fabric::domainOf(proto::NodeId node) const
 }
 
 void
+Fabric::setPerturber(PacketPerturber *perturber)
+{
+    perturber_ = perturber;
+}
+
+void
 Fabric::send(proto::Packet pkt)
 {
+    const sim::DomainId src = parallel_ ? domainOf(pkt.hdr.src)
+                                        : sim::DomainId(0);
+    sim::Tick extra = 0;
+    if (perturber_ != nullptr) {
+        // Runs on the posting domain's thread; additive-only latency
+        // keeps the lookahead invariant below intact.
+        const PacketPerturber::Verdict verdict = perturber_->perturb(
+            pkt, src, domains_[src]->sim->now());
+        if (verdict.drop)
+            return;
+        extra = verdict.extraLatency;
+    }
+
     if (!parallel_) {
         // Single-domain fast path: identical to the legacy fabric.
         DomainState &s = *domains_.front();
@@ -95,11 +114,10 @@ Fabric::send(proto::Packet pkt)
         ev->fabric = this;
         ev->dom = 0;
         ev->pkt = std::move(pkt);
-        s.sim->schedule(*ev, latency_);
+        s.sim->schedule(*ev, latency_ + extra);
         return;
     }
 
-    const sim::DomainId src = domainOf(pkt.hdr.src);
     const sim::DomainId dst = domainOf(pkt.hdr.dst);
     DomainState &s = *domains_[src];
     if (src == dst) {
@@ -108,11 +126,11 @@ Fabric::send(proto::Packet pkt)
         ev->fabric = this;
         ev->dom = dst;
         ev->pkt = std::move(pkt);
-        s.sim->schedule(*ev, latency_);
+        s.sim->schedule(*ev, latency_ + extra);
         return;
     }
 
-    const sim::Tick when = s.sim->now() + latency_;
+    const sim::Tick when = s.sim->now() + latency_ + extra;
     RV_ASSERT(when >= windowEnd_,
               "cross-domain packet due inside the executing window "
               "(lookahead invariant violated)");

@@ -52,6 +52,37 @@
 
 namespace rpcvalet::net {
 
+/**
+ * Hook applied to every packet at injection time — the fabric/NI
+ * boundary where packet-level faults (loss, delay, corruption) live.
+ * perturb() runs on the posting domain's thread inside send(), so an
+ * implementation serving a parallel run must keep per-domain state
+ * (see fault::PacketFaults) and may not touch other domains' lanes.
+ */
+class PacketPerturber
+{
+  public:
+    /** What happens to one packet. */
+    struct Verdict
+    {
+        /** Drop the packet (it never arrives; no event scheduled). */
+        bool drop = false;
+        /** Extra one-way latency on top of the fabric's. Only ever
+         *  additive, so the conservative lookahead invariant (delivery
+         *  >= send + latency >= window end) is preserved for free. */
+        sim::Tick extraLatency = 0;
+    };
+
+    virtual ~PacketPerturber() = default;
+
+    /**
+     * Inspect (and possibly mutate, e.g. corrupt) @p pkt, posted on
+     * @p domain at local time @p now.
+     */
+    virtual Verdict perturb(proto::Packet &pkt, sim::DomainId domain,
+                            sim::Tick now) = 0;
+};
+
 /** Point-to-point packet delivery with constant propagation delay. */
 class Fabric
 {
@@ -102,6 +133,13 @@ class Fabric
      * the ownership protocol above.
      */
     void assignNode(proto::NodeId node, sim::DomainId domain);
+
+    /**
+     * Attach a packet perturber (fault injection). Construction-time
+     * only, like connect(); at most one, null detaches. The perturber
+     * sees every packet from every node, before latency is applied.
+     */
+    void setPerturber(PacketPerturber *perturber);
 
     /** Inject a packet; it arrives at its destination after latency. */
     void send(proto::Packet pkt);
@@ -193,6 +231,8 @@ class Fabric
     std::unordered_map<proto::NodeId, sim::DomainId> nodeDomain_;
     std::unordered_map<proto::NodeId, Sink> sinks_;
     Sink defaultSink_;
+    /** Optional fault-injection hook (not owned). */
+    PacketPerturber *perturber_ = nullptr;
     /** Barrier drain scratch (coordinator only; reused, no alloc). */
     std::vector<Mail> drainScratch_;
 };

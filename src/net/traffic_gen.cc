@@ -24,6 +24,7 @@ TrafficGenerator::TrafficGenerator(sim::EventDomain &sim,
       pickRng_(params.seed, /*stream=*/0x7156),
       clientRng_(params.seed, /*stream=*/0xC11E),
       routerRng_(params.seed, /*stream=*/0x7073),
+      retryRng_(params.seed, /*stream=*/0x4E77),
       freeSlots_(static_cast<std::size_t>(domain.numNodes) *
                  params.numServers),
       pending_(static_cast<std::size_t>(domain.numNodes) *
@@ -38,6 +39,7 @@ TrafficGenerator::TrafficGenerator(sim::EventDomain &sim,
               "need at least one remote client node");
     RV_ASSERT(router_ == nullptr || shards_ != nullptr,
               "a cluster router needs a shard map");
+    params_.retry.validate(params_.requestTimeout);
     arrivals_.setBatchWindow(params_.arrivalBatchWindow);
     madeByClass_.resize(std::max<std::size_t>(
         app.requestClasses().size(), 1));
@@ -164,7 +166,8 @@ TrafficGenerator::routeRequest(proto::NodeId src,
 void
 TrafficGenerator::dispatchRequest(proto::NodeId src,
                                   std::vector<std::uint8_t> request,
-                                  std::uint64_t chain)
+                                  std::uint64_t chain,
+                                  std::uint32_t attempt)
 {
     const std::uint32_t server = routeRequest(src, request);
     const std::size_t pair = pairIndex(src, server);
@@ -173,25 +176,37 @@ TrafficGenerator::dispatchRequest(proto::NodeId src,
         // in flight; the request waits for a replenish (§4.2).
         ++deferrals_;
         pending_[pair].push_back(
-            PendingRequest{std::move(request), chain});
+            PendingRequest{std::move(request), chain, attempt});
         return;
     }
     const std::uint32_t slot = freeSlots_[pair].back();
     freeSlots_[pair].pop_back();
-    launchRequest(src, server, slot, std::move(request), chain);
+    launchRequest(src, server, slot, std::move(request), chain, attempt);
 }
 
 void
 TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t server,
                                 std::uint32_t slot,
                                 std::vector<std::uint8_t> request,
-                                std::uint64_t chain)
+                                std::uint64_t chain,
+                                std::uint32_t attempt, bool is_hedge)
 {
     ++requestsSent_;
     ++inFlight_;
     ++perServerInFlight_[server];
+    // Canary accounting: a recovering server's first routed request is
+    // its probe (no-op for healthy servers).
+    if (health_ != nullptr)
+        health_->noteRouted(server);
     const proto::NodeId dst = params_.targetNode + server;
     const std::uint64_t key = reqKey(server, src, slot);
+    RV_ASSERT(outstandingRequests_.find(key) ==
+                  outstandingRequests_.end(),
+              "slot reused while its request is still outstanding");
+    // A slot freed while its previous use sat in expectedDuplicates_
+    // means that duplicate's reply was lost; it can never arrive, so
+    // the stale marker must not misclassify this use's late replies.
+    expectedDuplicates_.erase(key);
     if (request.size() > domain_.maxMsgBytes) {
         // Rendezvous (§4.2): announce the payload with a one-block
         // descriptor; the destination NI pulls it with a one-sided
@@ -209,14 +224,16 @@ TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t server,
         descriptor.hdr.rendezvousBytes =
             static_cast<std::uint32_t>(request.size());
         outstandingRequests_[key] =
-            Outstanding{std::move(request), server, sim_.now(), chain};
+            Outstanding{std::move(request), server,   sim_.now(), chain,
+                        attempt,            is_hedge, is_hedge,   kNoKey};
         fabric_.send(std::move(descriptor));
         return;
     }
     auto packets =
         proto::packetize(proto::OpType::Send, src, dst, slot, request);
     outstandingRequests_[key] =
-        Outstanding{std::move(request), server, sim_.now(), chain};
+        Outstanding{std::move(request), server,   sim_.now(), chain,
+                    attempt,            is_hedge, is_hedge,   kNoKey};
     for (auto &pkt : packets)
         fabric_.send(std::move(pkt));
 }
@@ -306,21 +323,31 @@ TrafficGenerator::onReplyComplete(std::uint32_t server,
     const std::uint64_t key = reqKey(server, dst, slot);
     auto it = outstandingRequests_.find(key);
     if (it == outstandingRequests_.end()) {
-        RV_ASSERT(params_.requestTimeout > 0,
-                  "reply for unknown request");
-        // The request already timed out and was rerouted elsewhere:
-        // drop the late reply's payload, but still return the reply's
-        // send-slot credit below — the reply did occupy the server's
-        // mirrored send slot, and withholding the replenish would leak
-        // it, wedging every later reply on that slot into an infinite
-        // busy-retry (seen with chained workloads, whose composed root
-        // latency can legitimately cross the request timeout on a
-        // healthy node).
-        ++staleReplies_;
+        if (expectedDuplicates_.erase(key) > 0) {
+            // The losing half of a hedge race: its winner already
+            // delivered this request's answer. Expected, accounted
+            // apart from genuinely stale (timed-out) replies.
+            ++duplicateReplies_;
+        } else {
+            RV_ASSERT(params_.requestTimeout > 0,
+                      "reply for unknown request");
+            // The request already timed out and was rerouted
+            // elsewhere: drop the late reply's payload, but still
+            // return the reply's send-slot credit below — the reply
+            // did occupy the server's mirrored send slot, and
+            // withholding the replenish would leak it, wedging every
+            // later reply on that slot into an infinite busy-retry
+            // (seen with chained workloads, whose composed root
+            // latency can legitimately cross the request timeout on a
+            // healthy node).
+            ++staleReplies_;
+        }
     } else {
         if (!app_.verifyReply(it->second.bytes, reply))
             ++verifyFailures_;
         const std::uint64_t chain = it->second.chain;
+        const std::uint64_t sibling = it->second.sibling;
+        const bool wonAsHedge = it->second.isHedge;
         outstandingRequests_.erase(it);
         ++repliesReceived_;
         RV_ASSERT(inFlight_ > 0, "in-flight underflow");
@@ -330,6 +357,31 @@ TrafficGenerator::onReplyComplete(std::uint32_t server,
         --perServerInFlight_[server];
         if (health_ != nullptr)
             health_->reportSuccess(server);
+        if (sibling != kNoKey) {
+            // First reply wins: retire the losing half now so its
+            // late reply cannot double-complete the request. Its slot
+            // credit still returns through the duplicate-reply path
+            // above (the loser's reply carries the replenish).
+            auto sit = outstandingRequests_.find(sibling);
+            RV_ASSERT(sit != outstandingRequests_.end(),
+                      "hedge sibling vanished before resolution");
+            const std::uint32_t loserServer = sit->second.server;
+            outstandingRequests_.erase(sit);
+            replies_.erase(sibling);
+            RV_ASSERT(inFlight_ > 0, "in-flight underflow");
+            --inFlight_;
+            RV_ASSERT(perServerInFlight_[loserServer] > 0,
+                      "per-server in-flight underflow");
+            --perServerInFlight_[loserServer];
+            expectedDuplicates_.insert(sibling);
+            if (wonAsHedge)
+                ++hedgesWon_;
+            // A credit parked on the loser (its reply was dropped)
+            // comes back now that the loser is retired.
+            releaseHeldCredit(sibling);
+        }
+        // Likewise a credit parked on this request itself.
+        releaseHeldCredit(key);
         // Last among the accounting: the chain-group completion may
         // re-enter this generator (a resumed parent's own reply
         // path), so everything above must already be settled. The
@@ -380,15 +432,47 @@ TrafficGenerator::onReplenish(const proto::Packet &pkt)
     const proto::NodeId src = pkt.hdr.dst;
     const std::uint32_t slot = pkt.hdr.slot;
     RV_ASSERT(src < domain_.numNodes, "replenish for unknown node");
-    const std::size_t pair = pairIndex(src, server);
+    const std::uint64_t key = reqKey(server, src, slot);
+    if (outstandingRequests_.find(key) != outstandingRequests_.end()) {
+        // The request is still outstanding on this very slot: its
+        // reply was lost (per-flow FIFO delivers the reply before the
+        // replenish otherwise). Reusing the slot now would alias a new
+        // request under the same reply key — park the credit until
+        // the outstanding request resolves.
+        heldCredits_.insert(key);
+        return;
+    }
+    recycleSlot(src, server, slot);
+}
+
+void
+TrafficGenerator::recycleSlot(proto::NodeId client, std::uint32_t server,
+                              std::uint32_t slot)
+{
+    const std::size_t pair = pairIndex(client, server);
     if (!pending_[pair].empty()) {
         PendingRequest next = std::move(pending_[pair].front());
         pending_[pair].pop_front();
-        launchRequest(src, server, slot, std::move(next.bytes),
-                      next.chain);
+        launchRequest(client, server, slot, std::move(next.bytes),
+                      next.chain, next.attempt);
     } else {
         freeSlots_[pair].push_back(slot);
     }
+}
+
+void
+TrafficGenerator::releaseHeldCredit(std::uint64_t key)
+{
+    if (heldCredits_.erase(key) == 0)
+        return;
+    const auto slot = static_cast<std::uint32_t>(
+        key % domain_.slotsPerNode);
+    const auto client = static_cast<proto::NodeId>(
+        (key / domain_.slotsPerNode) % domain_.numNodes);
+    const auto server = static_cast<std::uint32_t>(
+        key / (static_cast<std::uint64_t>(domain_.slotsPerNode) *
+               domain_.numNodes));
+    recycleSlot(client, server, slot);
 }
 
 void
@@ -396,6 +480,24 @@ TrafficGenerator::sweepTimeouts()
 {
     if (halted_)
         return;
+
+    const fault::RetryPolicy &retry = params_.retry;
+
+    // Hedge scan first: requests old enough to warrant a duplicate
+    // send but not yet expired. Collect, sort, then act — hedging
+    // inserts outstanding entries, which must not be visited here.
+    if (retry.hedgeAfter > 0) {
+        std::vector<std::uint64_t> toHedge;
+        for (const auto &[key, rec] : outstandingRequests_) {
+            const sim::Tick age = sim_.now() - rec.sentAt;
+            if (age >= retry.hedgeAfter &&
+                age < params_.requestTimeout && !rec.hedged)
+                toHedge.push_back(key);
+        }
+        std::sort(toHedge.begin(), toHedge.end());
+        for (const std::uint64_t key : toHedge)
+            hedgeRequest(key);
+    }
 
     // Collect first, then act: rerouting schedules new outstanding
     // entries, which must not be visited by this sweep.
@@ -417,6 +519,8 @@ TrafficGenerator::sweepTimeouts()
             (key / domain_.slotsPerNode) % domain_.numNodes);
         std::vector<std::uint8_t> request = std::move(it->second.bytes);
         const std::uint64_t chain = it->second.chain;
+        const std::uint32_t attempt = it->second.attempt;
+        const std::uint64_t sibling = it->second.sibling;
         outstandingRequests_.erase(it);
         // A partially assembled reply for the dead request must not
         // pollute the slot's next use.
@@ -427,23 +531,113 @@ TrafficGenerator::sweepTimeouts()
         RV_ASSERT(perServerInFlight_[server] > 0,
                   "per-server in-flight underflow");
         --perServerInFlight_[server];
-        // The slot is deliberately NOT reclaimed: a slow-but-alive
-        // server still returns it via replenish; a dead server's
-        // slots stay consumed until it recovers.
+        // The slot is deliberately NOT reclaimed unless its replenish
+        // already came back (a parked credit proves the server's recv
+        // slot is free): a slow-but-alive server still returns it via
+        // replenish; a dead server's slots stay consumed until it
+        // recovers.
+        releaseHeldCredit(key);
         if (health_ != nullptr &&
             health_->reportFailure(server, sim_.now())) {
             // Transition to down: everything queued toward this
             // server would wait forever — reroute it now.
             drainPending(server);
         }
+        if (sibling != kNoKey) {
+            // Half of a hedge pair expired; the surviving half still
+            // covers the request, so no re-dispatch — just unlink the
+            // survivor (it resolves alone from here).
+            auto sit = outstandingRequests_.find(sibling);
+            if (sit != outstandingRequests_.end())
+                sit->second.sibling = kNoKey;
+            continue;
+        }
+        if (retry.maxAttempts > 0 && attempt >= retry.maxAttempts) {
+            // Attempt budget exhausted: give up for real. A chained
+            // member still counts toward its group so the parent's
+            // deferred reply is not wedged forever.
+            ++retryDrops_;
+            if (chain != 0)
+                onChainMemberDone(chain);
+            continue;
+        }
         // Reroutes keep their chain group: a chain member survives
         // timeouts without double-counting toward the group.
+        ++retries_;
         ++reroutes_;
-        dispatchRequest(client, std::move(request), chain);
+        sim::Tick backoff = 0;
+        if (retry.baseBackoff > 0) {
+            double delay = static_cast<double>(retry.baseBackoff);
+            for (std::uint32_t a = 1; a < attempt; ++a)
+                delay *= retry.multiplier;
+            if (retry.jitter > 0.0) {
+                delay *= 1.0 + retry.jitter *
+                                   (2.0 * retryRng_.uniform() - 1.0);
+            }
+            backoff = static_cast<sim::Tick>(delay);
+        }
+        if (backoff == 0) {
+            // Legacy path: immediate re-dispatch, no extra event.
+            dispatchRequest(client, std::move(request), chain,
+                            attempt + 1);
+        } else {
+            sim_.schedule(
+                backoff, [this, client, chain, attempt,
+                          request = std::move(request)]() mutable {
+                    if (halted_)
+                        return;
+                    dispatchRequest(client, std::move(request), chain,
+                                    attempt + 1);
+                });
+        }
     }
 
     sim_.schedule(sweepEvent_,
-                  std::max<sim::Tick>(1, params_.requestTimeout / 2));
+                  params_.sweepInterval > 0
+                      ? params_.sweepInterval
+                      : std::max<sim::Tick>(
+                            1, params_.requestTimeout / 4));
+}
+
+void
+TrafficGenerator::hedgeRequest(std::uint64_t primary_key)
+{
+    auto it = outstandingRequests_.find(primary_key);
+    RV_ASSERT(it != outstandingRequests_.end(),
+              "hedge candidate vanished mid-sweep");
+    const proto::NodeId client = static_cast<proto::NodeId>(
+        (primary_key / domain_.slotsPerNode) % domain_.numNodes);
+    std::vector<std::uint8_t> copy = it->second.bytes;
+    const std::uint64_t chain = it->second.chain;
+    const std::uint32_t attempt = it->second.attempt;
+    // Route the duplicate independently — under load-aware routing it
+    // lands on a less-loaded (often different) server than the slow
+    // primary.
+    const std::uint32_t server = routeRequest(client, copy);
+    const std::size_t pair = pairIndex(client, server);
+    if (freeSlots_[pair].empty()) {
+        // No free slot toward the hedge's target: skip rather than
+        // queue (a queued hedge would only add load where it hurts);
+        // the next sweep retries while the primary lives.
+        return;
+    }
+    const std::uint32_t slot = freeSlots_[pair].back();
+    freeSlots_[pair].pop_back();
+    const std::uint64_t hedgeKey = reqKey(server, client, slot);
+    // The hedge shares the primary's chain group; exactly one of the
+    // pair completes it (the loser retires as a duplicate).
+    launchRequest(client, server, slot, std::move(copy), chain, attempt,
+                  /*is_hedge=*/true);
+    ++hedgesSent_;
+    // launchRequest may rehash the map: re-find both halves to link.
+    auto pit = outstandingRequests_.find(primary_key);
+    auto hit = outstandingRequests_.find(hedgeKey);
+    RV_ASSERT(pit != outstandingRequests_.end() &&
+                  hit != outstandingRequests_.end(),
+              "hedge pair lookup failed after launch");
+    pit->second.hedged = true;
+    pit->second.sibling = hedgeKey;
+    hit->second.sibling = primary_key;
 }
 
 void
@@ -459,8 +653,8 @@ TrafficGenerator::drainPending(std::uint32_t server)
     }
     for (auto &[client, request] : queued) {
         ++reroutes_;
-        dispatchRequest(client, std::move(request.bytes),
-                        request.chain);
+        dispatchRequest(client, std::move(request.bytes), request.chain,
+                        request.attempt);
     }
 }
 

@@ -39,9 +39,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unordered_set>
+
 #include "app/rpc_application.hh"
 #include "cluster/router.hh"
 #include "cluster/topology.hh"
+#include "fault/fault.hh"
 #include "net/arrival.hh"
 #include "net/fabric.hh"
 #include "proto/messaging.hh"
@@ -69,6 +72,13 @@ class TrafficGenerator : private cluster::ClusterView
         /** Request timeout for failure detection; 0 disables the
          *  timeout sweep entirely (single-node bit-identical path). */
         sim::Tick requestTimeout = 0;
+        /** Timeout-sweep period; 0 derives max(1, requestTimeout/4)
+         *  so detection latency tracks the timeout scale. */
+        sim::Tick sweepInterval = 0;
+        /** Client recovery policy for timed-out requests (backoff,
+         *  attempt budget, hedging). The defaults reproduce the legacy
+         *  unlimited-immediate-redispatch behavior bit-identically. */
+        fault::RetryPolicy retry{};
         /** Pre-draw arrivals in blocks covering this many ticks (0 =
          *  one draw per arrival; see ArrivalDriver::setBatchWindow).
          *  Parallel-domain runs set this to the lookahead so a whole
@@ -160,6 +170,23 @@ class TrafficGenerator : private cluster::ClusterView
     /** Replies/reads that arrived after their request timed out. */
     std::uint64_t staleReplies() const { return staleReplies_; }
 
+    /** Timed-out requests re-dispatched under the retry policy (or
+     *  the legacy unlimited-retry default). */
+    std::uint64_t retries() const { return retries_; }
+
+    /** Requests abandoned after exhausting the attempt budget. */
+    std::uint64_t retryDrops() const { return retryDrops_; }
+
+    /** Hedged duplicate sends issued. */
+    std::uint64_t hedgesSent() const { return hedgesSent_; }
+
+    /** Races a hedge won (its reply beat the primary's). */
+    std::uint64_t hedgesWon() const { return hedgesWon_; }
+
+    /** Replies from the losing side of a hedge race (accounted
+     *  separately from staleReplies: they are expected). */
+    std::uint64_t duplicateReplies() const { return duplicateReplies_; }
+
   private:
     // cluster::ClusterView — what routers may observe.
     std::uint32_t numServers() const override { return params_.numServers; }
@@ -195,22 +222,34 @@ class TrafficGenerator : private cluster::ClusterView
     void countRequestClass(const std::vector<std::uint8_t> &request);
     /** Route @p request and launch it (or queue it on the chosen
      *  server's slot pool). @p chain ties it to a chain group
-     *  (0 = ordinary client request). */
+     *  (0 = ordinary client request); @p attempt is 1-based. */
     void dispatchRequest(proto::NodeId src,
                          std::vector<std::uint8_t> request,
-                         std::uint64_t chain);
+                         std::uint64_t chain, std::uint32_t attempt = 1);
     std::uint32_t routeRequest(proto::NodeId src,
                                const std::vector<std::uint8_t> &request);
     void launchRequest(proto::NodeId src, std::uint32_t server,
                        std::uint32_t slot,
                        std::vector<std::uint8_t> request,
-                       std::uint64_t chain);
+                       std::uint64_t chain, std::uint32_t attempt = 1,
+                       bool is_hedge = false);
+    /** Send a hedged duplicate of the outstanding request at
+     *  @p primary_key (no-op if no slot is free at the hedge's
+     *  routed target — the next sweep retries). */
+    void hedgeRequest(std::uint64_t primary_key);
     void onReplyComplete(std::uint32_t server, proto::NodeId dst,
                          std::uint32_t slot,
                          std::vector<std::uint8_t> reply);
     /** A chain member finished; fire the group's done at zero. */
     void onChainMemberDone(std::uint64_t chain);
     void onReplenish(const proto::Packet &pkt);
+    /** Hand a freed request slot to the pair's queue (or the free
+     *  list): the common tail of onReplenish and held-credit release. */
+    void recycleSlot(proto::NodeId client, std::uint32_t server,
+                     std::uint32_t slot);
+    /** Free the slot whose credit was parked while its request was
+     *  still outstanding at @p key (no-op if none was). */
+    void releaseHeldCredit(std::uint64_t key);
     /** Periodic timeout scan (scheduled only when requestTimeout > 0). */
     void sweepTimeouts();
     /** Reroute everything queued toward @p server (just marked down). */
@@ -230,6 +269,9 @@ class TrafficGenerator : private cluster::ClusterView
     /** Router-private stream: routing draws never perturb the client
      *  or arrival streams. */
     sim::Rng routerRng_;
+    /** Backoff-jitter stream; drawn only when retry.jitter > 0, so
+     *  jitterless runs stay bit-identical. */
+    sim::Rng retryRng_;
 
     /** Free request-slot numbers per (client, server) pair. */
     std::vector<std::vector<std::uint32_t>> freeSlots_;
@@ -238,6 +280,7 @@ class TrafficGenerator : private cluster::ClusterView
     {
         std::vector<std::uint8_t> bytes;
         std::uint64_t chain = 0;
+        std::uint32_t attempt = 1;
     };
     /** Requests waiting for a slot, per (client, server) pair. */
     std::vector<std::deque<PendingRequest>> pending_;
@@ -246,15 +289,37 @@ class TrafficGenerator : private cluster::ClusterView
      *  the server and send time for timeout-based failover. The chain
      *  id (0 = none) survives reroutes, so a chain group's completion
      *  count stays exact across failover. */
+    /** Sibling sentinel: this request is not half of a hedge pair. */
+    static constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+
     struct Outstanding
     {
         std::vector<std::uint8_t> bytes;
         std::uint32_t server = 0;
         sim::Tick sentAt = 0;
         std::uint64_t chain = 0;
+        /** 1-based send attempt (retry-policy budget). */
+        std::uint32_t attempt = 1;
+        /** This request already has (or had) a hedge — never hedge
+         *  the same request twice. */
+        bool hedged = false;
+        /** This entry IS the hedged duplicate. */
+        bool isHedge = false;
+        /** Key of the other half of the hedge pair (kNoKey = none);
+         *  cleared on the survivor when either side retires. */
+        std::uint64_t sibling = kNoKey;
     };
     /** Outstanding requests keyed by reqKey(server, client, slot). */
     std::unordered_map<std::uint64_t, Outstanding> outstandingRequests_;
+
+    /** Slot credits whose replenish arrived while the request was
+     *  still outstanding on that very slot — possible only when the
+     *  reply was lost (the fabric's per-flow FIFO otherwise delivers
+     *  the reply first). Reusing the slot then would alias two
+     *  requests under one reply key, so the credit is parked here and
+     *  released when the outstanding request resolves (reply, timeout,
+     *  or hedge retirement). */
+    std::unordered_set<std::uint64_t> heldCredits_;
 
     /** Reply reassembly, keyed like outstandingRequests_. */
     struct ReplyAssembly
@@ -288,6 +353,14 @@ class TrafficGenerator : private cluster::ClusterView
     std::uint64_t timeouts_ = 0;
     std::uint64_t reroutes_ = 0;
     std::uint64_t staleReplies_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t retryDrops_ = 0;
+    std::uint64_t hedgesSent_ = 0;
+    std::uint64_t hedgesWon_ = 0;
+    std::uint64_t duplicateReplies_ = 0;
+    /** Keys of retired hedge losers whose replies are still due: when
+     *  one arrives it is a duplicate (expected), not a stale (lost). */
+    std::unordered_set<std::uint64_t> expectedDuplicates_;
     std::uint64_t nestedSent_ = 0;
     std::uint64_t chainsCompleted_ = 0;
     bool halted_ = false;

@@ -1,5 +1,6 @@
 #include "ni/backend.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -20,11 +21,19 @@ NiBackend::NiBackend(sim::EventDomain &sim, const Params &params,
 }
 
 void
+NiBackend::stallIngress(sim::Tick until)
+{
+    stallUntil_ = std::max(stallUntil_, until);
+}
+
+void
 NiBackend::receivePacket(proto::Packet pkt)
 {
-    // Serialize packets through the ingress pipeline.
+    // Serialize packets through the ingress pipeline; an injected
+    // stall (stallIngress) holds the pipeline's next free slot back.
     const sim::Tick arrival = sim_.now();
-    const sim::Tick start = std::max(arrival, ingressFreeAt_);
+    const sim::Tick start =
+        std::max({arrival, ingressFreeAt_, stallUntil_});
     ingressFreeAt_ = start + params_.packetOccupancy;
     ingressBusy_ += params_.packetOccupancy;
     ++packetsReceived_;

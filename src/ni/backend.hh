@@ -64,6 +64,14 @@ class NiBackend
     void receivePacket(proto::Packet pkt);
 
     /**
+     * Fault injection (ni-stall): the ingress pipeline stops draining
+     * until @p until. Arriving packets queue behind the stall and
+     * drain in order when it lifts — a microcode hiccup, not a crash:
+     * nothing is dropped. Overlapping stalls keep the latest end.
+     */
+    void stallIngress(sim::Tick until);
+
+    /**
      * Egress: transmit a message (send or replenish) to @p dst,
      * landing in per-pair slot @p slot at the destination.
      */
@@ -137,6 +145,8 @@ class NiBackend
 
     sim::Tick ingressFreeAt_ = 0;
     sim::Tick egressFreeAt_ = 0;
+    /** Ingress pipeline stalled until this tick (fault injection). */
+    sim::Tick stallUntil_ = 0;
     sim::Tick ingressBusy_ = 0;
     std::uint64_t packetsReceived_ = 0;
     std::uint64_t packetsSent_ = 0;

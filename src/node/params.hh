@@ -118,6 +118,20 @@ struct SystemParams
     /** Retry interval when a reply's send slot is still in flight. */
     sim::Tick sendSlotRetry = sim::nanoseconds(20.0);
 
+    /**
+     * Give up waiting for a mirrored reply slot after this long and
+     * evict its occupant (0 = wait forever, the lossless-fabric
+     * default). On a lossless fabric a busy slot always drains —
+     * the client's replenish is at most a round trip plus turnaround
+     * away — but when fault injection can drop a reply packet, that
+     * replenish never comes and the core spinning in attemptReply
+     * would be lost for the rest of the run. The experiment layer
+     * enables the lease (2x the client request timeout) only when a
+     * packet-loss fault is active, so fault-free runs keep the exact
+     * legacy path.
+     */
+    sim::Tick replySlotLease = 0;
+
     /** One-way inter-node fabric latency. */
     sim::Tick fabricLatency = sim::nanoseconds(100.0);
 

@@ -63,6 +63,17 @@ RpcNode::RpcNode(sim::EventDomain &sim, const SystemParams &params,
                 onMessageComplete(bid, std::move(cqe));
             },
             [this](proto::NodeId dst, std::uint32_t slot) {
+                if (replySlotEvictions_ > 0 &&
+                    !send_.slotBusy(dst, slot)) {
+                    // A replenish for a slot the lease already
+                    // evicted (its reply was delayed past the lease
+                    // rather than dropped — possible only under
+                    // extreme injected delay). The credit was
+                    // reclaimed up front; ignore the echo. Without
+                    // evictions this stays a protocol violation,
+                    // caught by release's assert.
+                    return;
+                }
                 send_.release(dst, slot);
             },
             [this](proto::Packet pkt) { fabric_.send(std::move(pkt)); }));
@@ -296,6 +307,30 @@ RpcNode::coreMaybeStart(proto::CoreId core, bool was_idle)
     runRpc(core, std::move(cqe), was_idle);
 }
 
+void
+RpcNode::stallNi(sim::Tick until)
+{
+    for (auto &backend : backends_)
+        backend->stallIngress(until);
+}
+
+void
+RpcNode::setCoreSlowdown(proto::CoreId core, double factor)
+{
+    RV_ASSERT(core < cores_.size(), "slow-core target out of range");
+    RV_ASSERT(factor >= 1.0, "core slowdown factor must be >= 1");
+    if (coreSlowdown_.empty())
+        coreSlowdown_.assign(cores_.size(), 1.0);
+    coreSlowdown_[core] = factor;
+}
+
+void
+RpcNode::setDegradedWindows(
+    std::vector<std::pair<sim::Tick, sim::Tick>> windows)
+{
+    degradedWindows_ = std::move(windows);
+}
+
 bool
 RpcNode::hasDispatcher() const
 {
@@ -332,7 +367,13 @@ RpcNode::runRpc(proto::CoreId core, proto::CompletionQueueEntry cqe,
               "RPC dispatched before message completion");
     app::HandleResult result = app_.handle(slot.payload, serverRng_);
 
-    const sim::Tick processing = sim::nanoseconds(result.processingNs);
+    sim::Tick processing = sim::nanoseconds(result.processingNs);
+    // slow-core fault: this core's handler time is stretched while the
+    // factor is set (the vector stays empty until a fault first fires).
+    if (!coreSlowdown_.empty() && coreSlowdown_[core] > 1.0) {
+        processing = static_cast<sim::Tick>(
+            static_cast<double>(processing) * coreSlowdown_[core]);
+    }
     const sim::Tick base_pre = (was_idle ? cc.pollDetect : sim::Tick(0)) +
                                cc.cqeParse + cc.requestRead +
                                cc.appDispatch;
@@ -546,12 +587,27 @@ RpcNode::attemptReply(ServiceEvent &ev)
     // Slot-mirrored reply: response to request slot s departs on send
     // slot s toward the requester.
     if (send_.slotBusy(requester, slot_off)) {
-        // Mirrored slot still awaiting its replenish: spin and retry
-        // (the core stays busy, §4.2 flow control).
-        ++replySlotStalls_;
-        sim_.schedule(ev, params_.sendSlotRetry);
-        return;
+        const bool lease_expired =
+            params_.replySlotLease > 0 && ev.replyWaitStart != 0 &&
+            sim_.now() - ev.replyWaitStart >= params_.replySlotLease;
+        if (!lease_expired) {
+            // Mirrored slot still awaiting its replenish: spin and
+            // retry (the core stays busy, §4.2 flow control).
+            if (ev.replyWaitStart == 0)
+                ev.replyWaitStart = sim_.now();
+            ++replySlotStalls_;
+            sim_.schedule(ev, params_.sendSlotRetry);
+            return;
+        }
+        // The occupant's replenish is overdue by far more than a
+        // round trip plus client turnaround: its reply was lost to
+        // packet-loss injection, so the credit can never return and
+        // the occupant's client long ago timed the request out.
+        // Reclaim the slot rather than spinning this core forever.
+        send_.release(requester, slot_off);
+        ++replySlotEvictions_;
     }
+    ev.replyWaitStart = 0;
     const bool acquired = send_.acquireSpecific(
         requester, slot_off, std::move(ev.result.reply));
     RV_ASSERT(acquired, "mirrored slot raced despite busy probe");
@@ -601,8 +657,23 @@ RpcNode::finishRpc(ServiceEvent &ev)
 
     if (recording_) {
         allLatency_.record(latency);
-        if (critical)
+        if (critical) {
             criticalLatency_.record(latency);
+            // Degraded-tail split: bucket by whether the RPC completed
+            // inside a fault window (few windows — linear scan).
+            if (!degradedWindows_.empty()) {
+                const sim::Tick now = sim_.now();
+                bool degraded = false;
+                for (const auto &[from, until] : degradedWindows_) {
+                    if (now >= from && now < until) {
+                        degraded = true;
+                        break;
+                    }
+                }
+                (degraded ? degradedCritical_ : healthyCritical_)
+                    .record(latency);
+            }
+        }
         if (allLatency_.observed() > warmupSamples_)
             acct.latency.record(latency);
 

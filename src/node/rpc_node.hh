@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "app/rpc_application.hh"
@@ -85,6 +86,42 @@ class RpcNode
 
     /** Whether this node is currently dropping packets. */
     bool failed() const { return failed_; }
+
+    /**
+     * Fault injection (ni-stall): every NI backend's ingress pipeline
+     * stops draining until @p until; packets queue and drain in order
+     * when the stall lifts.
+     */
+    void stallNi(sim::Tick until);
+
+    /**
+     * Fault injection (slow-core): multiply @p core's application
+     * processing time by @p factor (1.0 restores full speed). Applies
+     * to RPCs whose handler runs while the factor is set.
+     */
+    void setCoreSlowdown(proto::CoreId core, double factor);
+
+    /**
+     * Degraded-tail split: latency-critical samples recorded while
+     * sim time is inside one of @p windows (sorted, merged fault
+     * windows) land in degradedCritical(), the rest in
+     * healthyCritical(). Empty (the default) disables the split and
+     * its per-sample scan entirely.
+     */
+    void
+    setDegradedWindows(std::vector<std::pair<sim::Tick, sim::Tick>> windows);
+
+    /** Critical-RPC latencies completed inside a fault window. */
+    const stats::LatencyRecorder &degradedCritical() const
+    {
+        return degradedCritical_;
+    }
+
+    /** Critical-RPC latencies completed outside every fault window. */
+    const stats::LatencyRecorder &healthyCritical() const
+    {
+        return healthyCritical_;
+    }
 
     /**
      * Enable/disable latency recording (cluster runs switch it on at
@@ -162,6 +199,11 @@ class RpcNode
 
     /** Times a reply had to wait for its mirrored send slot. */
     std::uint64_t replySlotStalls() const { return replySlotStalls_; }
+
+    /** Dead reply-slot occupants evicted after the slot lease expired
+     *  (only possible when packet loss swallowed a reply, so its
+     *  replenish can never arrive; see Params::replySlotLease). */
+    std::uint64_t replySlotEvictions() const { return replySlotEvictions_; }
 
     /** Preemption yields taken (0 unless preemptionQuantum is set). */
     std::uint64_t preemptionYields() const { return preemptionYields_; }
@@ -243,6 +285,9 @@ class RpcNode
         proto::CompletionQueueEntry cqe;
         app::HandleResult result;
         sim::Tick busyStart = 0;
+        /** When this reply first found its mirrored slot busy (0 =
+         *  not stalled); drives the reply-slot lease. */
+        sim::Tick replyWaitStart = 0;
 
         void process() override;
         const char *description() const override
@@ -296,6 +341,13 @@ class RpcNode
 
     stats::LatencyRecorder criticalLatency_;
     stats::LatencyRecorder allLatency_;
+    /** Degraded-window split (empty windows = split disabled). */
+    std::vector<std::pair<sim::Tick, sim::Tick>> degradedWindows_;
+    stats::LatencyRecorder degradedCritical_;
+    stats::LatencyRecorder healthyCritical_;
+    /** Per-core processing multipliers; empty until a slow-core fault
+     *  first fires, so unfaulted runs skip the lookup. */
+    std::vector<double> coreSlowdown_;
     std::vector<ClassAccounting> classes_;
     std::uint64_t warmupSamples_;
     Breakdown breakdown_;
@@ -317,6 +369,7 @@ class RpcNode
     std::uint64_t servedTotal_ = 0;
     std::uint64_t servedCritical_ = 0;
     std::uint64_t replySlotStalls_ = 0;
+    std::uint64_t replySlotEvictions_ = 0;
     sim::Tick busyAccum_ = 0;
     sim::EventPool<CqeEvent> cqePool_;
     sim::EventPool<ServiceEvent> servicePool_;

@@ -146,6 +146,50 @@ writePointJson(const std::string &path, const Scenario &scn,
     jsonUint(f, st.staleReplies);
     std::fprintf(f, ", \"nodes_down\": %u", st.nodesDown);
 
+    std::fputs(",\n  \"fault\": {\"retries\": ", f);
+    jsonUint(f, st.fault.retries);
+    std::fputs(", \"retry_drops\": ", f);
+    jsonUint(f, st.fault.retryDrops);
+    std::fputs(", \"hedges_sent\": ", f);
+    jsonUint(f, st.fault.hedgesSent);
+    std::fputs(", \"hedges_won\": ", f);
+    jsonUint(f, st.fault.hedgesWon);
+    std::fputs(", \"duplicate_replies\": ", f);
+    jsonUint(f, st.fault.duplicateReplies);
+    std::fputs(",\n    \"packets_dropped\": ", f);
+    jsonUint(f, st.fault.packetsDropped);
+    std::fputs(", \"packets_delayed\": ", f);
+    jsonUint(f, st.fault.packetsDelayed);
+    std::fputs(", \"packets_corrupted\": ", f);
+    jsonUint(f, st.fault.packetsCorrupted);
+    std::fputs(", \"corruptions_detected\": ", f);
+    jsonUint(f, st.fault.corruptionsDetected);
+    std::fputs(", \"reply_slot_evictions\": ", f);
+    jsonUint(f, st.fault.replySlotEvictions);
+    std::fputs(",\n    \"degraded_p99_ns\": ", f);
+    jsonNumber(f, st.fault.degradedP99Ns);
+    std::fputs(", \"degraded_samples\": ", f);
+    jsonUint(f, st.fault.degradedSamples);
+    std::fputs(", \"healthy_p99_ns\": ", f);
+    jsonNumber(f, st.fault.healthyP99Ns);
+    std::fputs(", \"healthy_samples\": ", f);
+    jsonUint(f, st.fault.healthySamples);
+    std::fputs(",\n    \"activations\": [", f);
+    for (std::size_t a = 0; a < st.fault.activations.size(); ++a) {
+        const fault::Activation &act = st.fault.activations[a];
+        std::fprintf(f,
+                     "%s\n      {\"spec\": \"%s\", \"kind\": \"%s\", "
+                     "\"node\": %d, \"core\": %d, \"at_ns\": ",
+                     a == 0 ? "" : ",", jsonEscape(act.spec).c_str(),
+                     jsonEscape(act.kind).c_str(), act.node, act.core);
+        jsonNumber(f, sim::toNs(act.at));
+        std::fputs(", \"until_ns\": ", f);
+        jsonNumber(f, sim::toNs(act.until));
+        std::fprintf(f, ", \"timed\": %s}",
+                     act.timed ? "true" : "false");
+    }
+    std::fputs("]}", f);
+
     std::fputs(",\n  \"per_class\": [", f);
     for (std::size_t c = 0; c < st.perClass.size(); ++c) {
         const core::ClassStats &cs = st.perClass[c];
@@ -289,6 +333,27 @@ appendPointMetrics(stats::MetricsExporter &mx, const Scenario &scn,
     mx.counter("rpcvalet_failover_reroutes_total",
                "Requests re-dispatched after a timeout or mark-down.",
                static_cast<double>(st.failoverReroutes), base);
+    mx.counter("rpcvalet_retries_total",
+               "Timed-out requests re-sent under the retry policy.",
+               static_cast<double>(st.fault.retries), base);
+    mx.counter("rpcvalet_retry_drops_total",
+               "Requests dropped after exhausting the attempt budget.",
+               static_cast<double>(st.fault.retryDrops), base);
+    mx.counter("rpcvalet_hedges_sent_total",
+               "Hedged duplicate sends issued for slow requests.",
+               static_cast<double>(st.fault.hedgesSent), base);
+    mx.counter("rpcvalet_hedges_won_total",
+               "Hedged requests whose duplicate replied first.",
+               static_cast<double>(st.fault.hedgesWon), base);
+    mx.counter("rpcvalet_packets_dropped_total",
+               "Packets dropped by injected loss faults.",
+               static_cast<double>(st.fault.packetsDropped), base);
+    mx.counter("rpcvalet_packets_corrupted_total",
+               "Packets corrupted by injected corruption faults.",
+               static_cast<double>(st.fault.packetsCorrupted), base);
+    mx.counter("rpcvalet_corruptions_detected_total",
+               "Corrupted replies caught by client-side verification.",
+               static_cast<double>(st.fault.corruptionsDetected), base);
 
     for (const core::ClassStats &cs : st.perClass) {
         stats::MetricsExporter::Labels labels = base;

@@ -9,6 +9,7 @@
 
 #include "app/workload.hh"
 #include "cluster/router.hh"
+#include "fault/fault.hh"
 #include "net/arrival.hh"
 #include "ni/dispatch_policy.hh"
 #include "sim/logging.hh"
@@ -185,11 +186,11 @@ class Parser
                 die("malformed section header '" + text + "'");
             section_ = trim(text.substr(1, text.size() - 2));
             if (section_ != "experiment" && section_ != "cluster" &&
-                section_ != "sweep" && section_ != "slo" &&
-                section_ != "output") {
+                section_ != "chaos" && section_ != "sweep" &&
+                section_ != "slo" && section_ != "output") {
                 die("unknown section '[" + section_ +
-                    "]' (expected experiment, cluster, sweep, slo, "
-                    "or output)");
+                    "]' (expected experiment, cluster, chaos, sweep, "
+                    "slo, or output)");
             }
             return;
         }
@@ -214,6 +215,8 @@ class Parser
             experimentKey(key, value);
         else if (section_ == "cluster")
             clusterKey(key, value);
+        else if (section_ == "chaos")
+            chaosKey(key, value);
         else if (section_ == "sweep")
             sweepKey(key, value);
         else if (section_ == "slo")
@@ -235,6 +238,12 @@ class Parser
             sim::fatal(source_ + ": no load axis — add 'load = ...' "
                        "(capacity fractions) or 'rps = ...' (absolute "
                        "rates) to [sweep]");
+        }
+        if (out_.base.retry.active()) {
+            // Cross-section check: an active [chaos] retry policy
+            // needs the [cluster] timeout its sweep triggers off.
+            sim::ErrorContext ctx(source_ + ": [chaos] retry policy");
+            out_.base.retry.validate(out_.base.cluster.requestTimeout);
         }
     }
 
@@ -320,11 +329,53 @@ class Parser
             out_.base.cluster.failNode = static_cast<std::int32_t>(n);
         } else if (key == "fail_at") {
             out_.base.cluster.failAt = parseTick(value);
+        } else if (key == "sweep_interval") {
+            const sim::Tick t = parseTick(value);
+            if (t == 0)
+                sim::fatal("'sweep_interval' must be > 0 (omit the key "
+                           "to derive it from the timeout)");
+            out_.base.cluster.sweepInterval = t;
         } else {
             die("unknown [cluster] key '" + key +
                 "' (expected nodes, router, shards, timeout, "
-                "fail_threshold, recovery_after, fail_node, or "
-                "fail_at)");
+                "fail_threshold, recovery_after, fail_node, fail_at, "
+                "or sweep_interval)");
+        }
+    }
+
+    void
+    chaosKey(const std::string &key, const std::string &value)
+    {
+        if (key == "fault") {
+            // Repeatable; each line adds one spec. Instantiating
+            // through the registry validates the name and every
+            // shape-independent parameter right here, inside the
+            // file:line context. Shape checks (node/core ranges) run
+            // when the point resolves, with the spec in the message.
+            const fault::FaultSpec spec(value);
+            (void)fault::FaultRegistry::instance().make(spec);
+            out_.base.faults.push_back(spec);
+        } else if (key == "retry_max_attempts") {
+            out_.base.retry.maxAttempts =
+                static_cast<std::uint32_t>(parseUint(value));
+        } else if (key == "retry_backoff") {
+            out_.base.retry.baseBackoff = parseTick(value);
+        } else if (key == "retry_multiplier") {
+            const double m = parseDouble(value);
+            if (m < 1.0)
+                sim::fatal("'retry_multiplier' must be >= 1");
+            out_.base.retry.multiplier = m;
+        } else if (key == "retry_jitter") {
+            const double j = parseDouble(value);
+            if (j < 0.0 || j > 1.0)
+                sim::fatal("'retry_jitter' must be in [0, 1]");
+            out_.base.retry.jitter = j;
+        } else if (key == "hedge_after") {
+            out_.base.retry.hedgeAfter = parseTick(value);
+        } else {
+            die("unknown [chaos] key '" + key +
+                "' (expected fault, retry_max_attempts, retry_backoff, "
+                "retry_multiplier, retry_jitter, or hedge_after)");
         }
     }
 

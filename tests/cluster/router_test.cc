@@ -313,17 +313,54 @@ TEST(HealthTracker, SuccessResetsTheFailureStreak)
     EXPECT_FALSE(health.isUp(0, 50));
 }
 
-TEST(HealthTracker, RecoversAfterConfiguredDownTime)
+TEST(HealthTracker, RecoveryOpensACanaryProbeNotFullHealth)
 {
     HealthTracker health(1, 1, /*recovery_after=*/100);
     EXPECT_TRUE(health.reportFailure(0, 10));
     EXPECT_FALSE(health.isUp(0, 50));
     EXPECT_FALSE(health.isUp(0, 109));
-    EXPECT_TRUE(health.isUp(0, 110)); // optimistic re-entry
-    // Post-recovery, a fresh failure takes it down again.
-    EXPECT_TRUE(health.reportFailure(0, 120));
-    EXPECT_FALSE(health.isUp(0, 120));
+    // Recovery elapsed: routable again, but only for one canary
+    // request — the node is not yet considered healthy.
+    EXPECT_TRUE(health.isUp(0, 110));
+    health.noteRouted(0); // the canary departs
+    EXPECT_FALSE(health.isUp(0, 111)); // nothing piles on behind it
+    // The canary times out: still down, recovery clock restarted, and
+    // no second down transition — the node never actually came back.
+    EXPECT_FALSE(health.reportFailure(0, 120));
+    EXPECT_FALSE(health.isUp(0, 219));
+    EXPECT_TRUE(health.isUp(0, 220)); // next probe window opens
+    EXPECT_EQ(health.downTransitions(), 1u);
+}
+
+TEST(HealthTracker, CanarySuccessRestoresFullHealth)
+{
+    HealthTracker health(1, /*fail_threshold=*/2, /*recovery_after=*/100);
+    health.reportFailure(0, 10);
+    EXPECT_TRUE(health.reportFailure(0, 20));
+    EXPECT_TRUE(health.isUp(0, 120)); // probe window open
+    health.noteRouted(0);
+    EXPECT_FALSE(health.isUp(0, 120)); // canary in flight: hold traffic
+    health.reportSuccess(0);
+    EXPECT_TRUE(health.isUp(0, 121)); // genuinely serving again
+    // Fully healthy: going down again takes a fresh failure streak.
+    EXPECT_FALSE(health.reportFailure(0, 130));
+    EXPECT_TRUE(health.isUp(0, 130));
+    EXPECT_TRUE(health.reportFailure(0, 140));
     EXPECT_EQ(health.downTransitions(), 2u);
+}
+
+TEST(HealthTracker, MarkDownDuringProbeCancelsTheCanary)
+{
+    HealthTracker health(1, 1, /*recovery_after=*/100);
+    health.reportFailure(0, 10);
+    EXPECT_TRUE(health.isUp(0, 110)); // probing
+    health.noteRouted(0);
+    // A straggler timeout re-marks the node while the canary is out:
+    // the probe is cancelled and the recovery clock restarts.
+    health.markDown(0, 115);
+    EXPECT_FALSE(health.isUp(0, 214));
+    EXPECT_TRUE(health.isUp(0, 215));
+    EXPECT_EQ(health.downTransitions(), 1u);
 }
 
 TEST(HealthTracker, MarkDownIsImmediate)

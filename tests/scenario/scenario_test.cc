@@ -92,6 +92,38 @@ TEST(ScenarioParse, FullFilePopulatesEveryField)
     EXPECT_FALSE(scn.writePrometheus);
 }
 
+TEST(ScenarioParse, ChaosSectionPopulatesFaultsAndRetry)
+{
+    const scenario::Scenario scn = scenario::parseScenarioText(
+        "[cluster]\n"
+        "nodes   = 4\n"
+        "timeout = 30us\n"
+        "sweep_interval = 5us\n"
+        "[chaos]\n"
+        "fault = crash:node=3,at=100us,recover_after=300us\n"
+        "fault = packet-loss:p=0.005\n"
+        "retry_max_attempts = 6\n"
+        "retry_backoff      = 5us\n"
+        "retry_multiplier   = 2\n"
+        "retry_jitter       = 0.2\n"
+        "hedge_after        = 20us\n"
+        "[sweep]\n"
+        "load = 0.5\n",
+        "chaos.scn");
+    ASSERT_EQ(scn.base.faults.size(), 2u);
+    // toString() canonicalizes: params print in sorted key order.
+    EXPECT_EQ(scn.base.faults[0].toString(),
+              "crash:at=100us,node=3,recover_after=300us");
+    EXPECT_EQ(scn.base.faults[1].name, "packet-loss");
+    EXPECT_EQ(scn.base.retry.maxAttempts, 6u);
+    EXPECT_EQ(scn.base.retry.baseBackoff, sim::microseconds(5.0));
+    EXPECT_DOUBLE_EQ(scn.base.retry.multiplier, 2.0);
+    EXPECT_DOUBLE_EQ(scn.base.retry.jitter, 0.2);
+    EXPECT_EQ(scn.base.retry.hedgeAfter, sim::microseconds(20.0));
+    EXPECT_TRUE(scn.base.retry.active());
+    EXPECT_EQ(scn.base.cluster.sweepInterval, sim::microseconds(5.0));
+}
+
 TEST(ScenarioParse, FileStemIsTheDefaultName)
 {
     const std::string path =
@@ -163,6 +195,52 @@ TEST(ScenarioParseDeath, ValueValidationFires)
                     "bad.scn"),
                 ::testing::ExitedWithCode(1),
                 "'parallel_domains' must be at most 1024");
+}
+
+TEST(ScenarioParseDeath, BadFaultSpecsDieWithFileAndLine)
+{
+    // Unknown fault names and out-of-range parameters are caught at
+    // parse time by instantiating through the registry, with the
+    // file:line (key = value) frame prefixed.
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[chaos]\nfault = pakcet-loss:p=0.1\n", "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "bad\\.scn:2 \\(fault = pakcet-loss:p=0.1\\).*unknown "
+                "fault 'pakcet-loss'");
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[chaos]\nfault = packet-loss:p=1.5\n", "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "bad\\.scn:2.*p must be in \\[0, 1\\]");
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[chaos]\nretry_multiplier = 0.5\n", "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "bad\\.scn:2.*'retry_multiplier' must be >= 1");
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[chaos]\nretry_jitter = 2\n", "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "bad\\.scn:2.*'retry_jitter' must be in \\[0, 1\\]");
+}
+
+TEST(ScenarioParseDeath, ActiveRetryWithoutClusterTimeoutIsFatal)
+{
+    // Cross-section validation at finish(): retries trigger off the
+    // [cluster] timeout sweep, so an active policy without one cannot
+    // run.
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[chaos]\nretry_max_attempts = 3\n"
+                    "[sweep]\nload = 0.5\n",
+                    "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "\\[chaos\\] retry policy.*requires a cluster request "
+                "timeout");
+}
+
+TEST(ScenarioParseDeath, ZeroSweepIntervalIsFatal)
+{
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[cluster]\nsweep_interval = 0\n", "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "'sweep_interval' must be > 0");
 }
 
 TEST(ScenarioParseDeath, LoadAxisIsMandatoryAndExclusive)

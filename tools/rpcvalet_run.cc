@@ -15,6 +15,8 @@
  *   --threads=N    override the scenario's [sweep] threads
  *   --parallel-domains=N  override [experiment] parallel_domains
  *   --dry-run      parse and expand only; print the matrix, run nothing
+ *   --explain-faults  dry-run that also prints each point's resolved
+ *                  fault timeline ([chaos] faults + legacy fail_node)
  *   --quiet        suppress the per-point progress table
  *   --strict-slo   exit 1 when any declared SLO is unmet
  *   --version      print build provenance and exit
@@ -29,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "scenario/runner.hh"
 #include "scenario/scenario.hh"
 #include "sim/build_info.hh"
@@ -48,6 +51,8 @@ usage(std::FILE *f)
         "  --parallel-domains=N  override [experiment] "
         "parallel_domains (0 = sequential)\n"
         "  --dry-run      expand and print the matrix, run nothing\n"
+        "  --explain-faults  dry-run printing each point's resolved "
+        "fault timeline\n"
         "  --quiet        suppress the per-point progress table\n"
         "  --strict-slo   exit 1 when any declared SLO is unmet\n"
         "  --version      print build provenance and exit\n",
@@ -60,6 +65,7 @@ struct Options
     unsigned threads = 0;
     int parallelDomains = -1; // -1 = keep the scenario's value
     bool dryRun = false;
+    bool explainFaults = false;
     bool quiet = false;
     bool strictSlo = false;
     std::vector<std::string> files;
@@ -95,6 +101,9 @@ parseArgs(int argc, char **argv)
             opt.parallelDomains = static_cast<int>(n);
         } else if (arg == "--dry-run") {
             opt.dryRun = true;
+        } else if (arg == "--explain-faults") {
+            opt.dryRun = true;
+            opt.explainFaults = true;
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else if (arg == "--strict-slo") {
@@ -159,6 +168,32 @@ runOne(const std::string &path, const Options &opt)
                         pt.policy.c_str(), pt.arrival.c_str(),
                         pt.router.c_str(), pt.nodes,
                         pt.config.arrivalRps);
+            if (!opt.explainFaults)
+                continue;
+            // Resolve against this point's shape — exactly what the
+            // run itself would inject, including the legacy fail_node
+            // shim; bad specs die here with file-independent context.
+            const fault::Resolution plan = fault::resolveFaults(
+                core::effectiveFaults(pt.config),
+                fault::ResolveContext{
+                    pt.config.cluster.numServerNodes,
+                    pt.config.system.numCores,
+                    pt.config.parallelDomains > 0});
+            if (plan.timeline.empty()) {
+                std::printf("        (no faults)\n");
+                continue;
+            }
+            for (const fault::Activation &act : plan.timeline)
+                std::printf("        %s\n", act.describe().c_str());
+            if (pt.config.retry.active()) {
+                std::printf(
+                    "        retry: max_attempts=%u backoff=%.3fus "
+                    "x%g jitter=%g hedge_after=%.3fus\n",
+                    pt.config.retry.maxAttempts,
+                    sim::toUs(pt.config.retry.baseBackoff),
+                    pt.config.retry.multiplier, pt.config.retry.jitter,
+                    sim::toUs(pt.config.retry.hedgeAfter));
+            }
         }
         return true;
     }
