@@ -8,6 +8,8 @@
 
 #include "app/workload.hh"
 #include "cluster/router.hh"
+#include "conn/conn.hh"
+#include "core/registry_listing.hh"
 #include "fault/fault.hh"
 #include "net/arrival.hh"
 #include "sim/build_info.hh"
@@ -168,7 +170,8 @@ writeJsonReport()
                  "\"policy\": \"%s\", \"arrival\": \"%s\", "
                  "\"workload\": \"%s\", \"mode\": \"%s\", "
                  "\"nodes\": %u, \"router\": \"%s\", "
-                 "\"parallel_domains\": %u},\n",
+                 "\"parallel_domains\": %u, "
+                 "\"connections\": \"%s\"},\n",
                  r.args.points,
                  static_cast<unsigned long long>(r.args.rpcs),
                  static_cast<unsigned long long>(r.args.warmup),
@@ -179,7 +182,8 @@ writeJsonReport()
                  jsonEscape(r.args.workload).c_str(),
                  jsonEscape(r.args.mode).c_str(),
                  r.args.nodes, jsonEscape(r.args.router).c_str(),
-                 r.args.parallelDomains);
+                 r.args.parallelDomains,
+                 jsonEscape(r.args.connections).c_str());
     std::fputs("  \"series\": [", f);
     for (std::size_t i = 0; i < r.series.size(); ++i) {
         const auto &entry = r.series[i];
@@ -337,6 +341,15 @@ parseArgs(int argc, char **argv)
                 sim::fatal("--fault needs a spec (e.g. "
                            "--fault=packet-loss:p=0.01)");
             args.faults.emplace_back(fault);
+        } else if (const char *conn = value("--connections=")) {
+            if (*conn == '\0')
+                sim::fatal("--connections needs a spec (e.g. "
+                           "--connections=grouped:clients=2048,"
+                           "size=40,slice=100us)");
+            args.connections = conn;
+        } else if (arg == "--list-specs") {
+            std::fputs(core::formatRegistryListing().c_str(), stdout);
+            std::exit(0);
         } else if (const char *router = value("--router="))
             args.router = router;
         else if (const char *policy = value("--policy="))
@@ -464,6 +477,17 @@ applyFaultOverride(const BenchArgs &args, core::ExperimentConfig &cfg)
 }
 
 void
+applyConnectionsOverride(const BenchArgs &args,
+                         core::ExperimentConfig &cfg)
+{
+    if (args.connections.empty())
+        return;
+    // Parsing validates the scheduler through the registry and fatals
+    // on a missing 'clients' key, so a typo dies at flag level.
+    cfg.connections = conn::parseConnConfig(args.connections);
+}
+
+void
 applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg)
 {
     applyModeOverride(args, cfg);
@@ -472,6 +496,7 @@ applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg)
     applyWorkloadOverride(args, cfg);
     applyClusterOverride(args, cfg);
     applyFaultOverride(args, cfg);
+    applyConnectionsOverride(args, cfg);
     if (args.parallelDomains > 0)
         cfg.parallelDomains = args.parallelDomains;
 }

@@ -58,6 +58,17 @@
  *                 "packet-loss:p=0.01"); repeatable — each occurrence
  *                 adds one fault. Applied via applyOverrides; fatal on
  *                 an unknown name or malformed parameters.
+ *   --connections=SPEC  connection-management config: a scheduler spec
+ *                 ("all" or "grouped:size=40,slice=100us") extended
+ *                 with population keys, e.g.
+ *                 "grouped:clients=2048,size=40,slice=100us" or
+ *                 "all:clients=2048,qp_capacity=64,qp_cold=1us".
+ *                 'clients' is required; empty/absent keeps the
+ *                 subsystem off (the pre-PR legacy path, bit
+ *                 identical). Applied via applyOverrides.
+ *   --list-specs  print every registered component name across all six
+ *                 spec registries (policy, arrival, workload, router,
+ *                 fault, conn) and exit.
  *   --json=FILE   write results (series, claims, args, perf) as JSON
  *                 at exit — the machine-readable feed behind CI's
  *                 bench-results artifact and the BENCH_*.json perf
@@ -112,6 +123,9 @@ struct BenchArgs
     /** Fault specs injected into every experiment (--fault=, one spec
      *  per occurrence); empty = no injected faults. */
     std::vector<std::string> faults;
+    /** Connection-management config (--connections=); empty keeps the
+     *  subsystem off (the legacy client model). */
+    std::string connections;
     /** JSON results path; empty = no JSON output. */
     std::string json;
 };
@@ -160,10 +174,17 @@ void applyFaultOverride(const BenchArgs &args,
                         core::ExperimentConfig &cfg);
 
 /**
+ * Apply --connections to @p cfg when set (fatal on a malformed spec,
+ * an unregistered scheduler, or a missing 'clients' key).
+ */
+void applyConnectionsOverride(const BenchArgs &args,
+                              core::ExperimentConfig &cfg);
+
+/**
  * Apply every declarative override (--mode, --policy, --arrival,
- * --workload, --nodes, --router). makeSweep calls this on the sweep
- * base; benches that build ExperimentConfigs directly call it
- * themselves.
+ * --workload, --nodes, --router, --fault, --connections). makeSweep
+ * calls this on the sweep base; benches that build ExperimentConfigs
+ * directly call it themselves.
  */
 void applyOverrides(const BenchArgs &args, core::ExperimentConfig &cfg);
 

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Connection management: the sixth spec axis.
+ *
+ * RPCValet's messaging domain hands every client a permanently live
+ * set of NI/QP resources; nothing ever makes connection state scarce.
+ * Real NIs cache a bounded number of connection contexts on-chip, and
+ * once thousands of clients hold live connections the cache thrashes —
+ * the problem ScaleRPC solves by time-multiplexing clients through the
+ * server in connection groups. This subsystem mirrors the
+ * policy/arrival/workload/router/fault registry architecture:
+ *
+ *  - ConnSpec       "name:key=value,..." (sim::Spec with conn
+ *                   diagnostics), e.g. "grouped:size=40,slice=100us"
+ *  - ConnScheduler  a registered connection scheduler; decides per
+ *                   logical client whether it may issue a request now
+ *                   and releases deferred clients when their turn comes
+ *  - ConnConfig     the experiment-level knobs: logical-client
+ *                   population size, scheduler spec, QP-cache capacity
+ *                   and cold-fetch penalty
+ *  - ConnRegistry   process-wide name -> factory table; schedulers
+ *                   self-register via ConnRegistrar, including from
+ *                   outside src/
+ *
+ * Built-ins (src/conn/schedulers.cc):
+ *
+ *   all                                   every client connected, no
+ *                                         gating — the legacy issue
+ *                                         path under a finite QP cache
+ *   grouped:size=,slice=[,warmup=0|1][,regroup=none|priority]
+ *                                         ScaleRPC connection grouping:
+ *                                         only the active group issues
+ *                                         during a time slice, the next
+ *                                         group warms up before the
+ *                                         switch, drain-before-switch,
+ *                                         optional priority regrouping
+ *                                         by measured Pi = Ti/Si
+ *
+ * The client population is modeled in net::TrafficGenerator: logical
+ * clients multiplex onto the emulated client nodes' existing
+ * per-(node, server) slot pools, and each request carries its logical
+ * client id so the server NI's QP cache (node::RpcNode) can account
+ * connection-context hits and misses. With ConnConfig.numClients == 0
+ * (the default) none of this machinery exists: no extra Rng draws, no
+ * events, bit-identical to the pre-connection build.
+ */
+
+#ifndef RPCVALET_CONN_CONN_HH
+#define RPCVALET_CONN_CONN_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/domain.hh"
+#include "sim/spec.hh"
+
+namespace rpcvalet::conn {
+
+/** A connection-scheduler selection: registry name plus parameters. */
+struct ConnSpec : public sim::Spec
+{
+    /** Default: an empty spec (scheduler chosen by ConnConfig). */
+    ConnSpec();
+
+    /** Implicit: parse a spec string (fatal on malformed input). */
+    ConnSpec(const char *text);
+    ConnSpec(const std::string &text);
+
+    /** Parse "name" or "name:k=v,k=v" (see sim::Spec::parse). */
+    static ConnSpec parse(const std::string &text);
+};
+
+/** Counters every scheduler reports into RunStats.conn. */
+struct ConnSchedStats
+{
+    /** Connection groups the population is partitioned into. */
+    std::uint32_t groups = 1;
+    /** Completed group context switches. */
+    std::uint64_t groupSwitches = 0;
+    /** Warmup pre-admissions that released a queued request. */
+    std::uint64_t warmupHits = 0;
+    /** Warmup pre-admissions that found nothing queued. */
+    std::uint64_t warmupMisses = 0;
+    /** End-of-epoch priority regroupings performed. */
+    std::uint64_t regroups = 0;
+};
+
+/**
+ * Interface every connection scheduler implements. The traffic
+ * generator owns one instance per run and drives it from the client
+ * domain (domain 0 in parallel runs), so scheduling decisions are
+ * automatically deterministic across --parallel-domains settings.
+ */
+class ConnScheduler
+{
+  public:
+    /**
+     * Release hook into the traffic generator: dispatch up to @p limit
+     * requests (0 = all) queued for @p client; returns how many were
+     * actually released. Schedulers call it when a client becomes
+     * admissible (group activation, warmup pre-admission).
+     */
+    using AdmitFn =
+        std::function<std::uint32_t(std::uint32_t client,
+                                    std::uint32_t limit)>;
+
+    virtual ~ConnScheduler() = default;
+
+    /** Canonical spec string of this instance (for reports). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Wire the scheduler to a run: population size, the client-side
+     * event domain for slice timers, and the generator's release hook.
+     * Called exactly once, before start().
+     */
+    virtual void bind(std::uint32_t numClients, sim::EventDomain &sim,
+                      AdmitFn admit) = 0;
+
+    /** Arm timers (called from TrafficGenerator::start). */
+    virtual void start() {}
+
+    /** Stop rescheduling timers (run is ending). */
+    virtual void halt() {}
+
+    /** Whether @p client may issue a request right now. A false return
+     *  defers the request into the client's queue; the scheduler must
+     *  eventually admit() it. */
+    virtual bool mayIssue(std::uint32_t client) const = 0;
+
+    /** A request of @p client entered the fabric. */
+    virtual void onLaunched(std::uint32_t client) { (void)client; }
+
+    /** A request of @p client completed with @p bytes of request
+     *  payload (feeds the per-client Ti/Si perf counters). */
+    virtual void
+    onCompleted(std::uint32_t client, std::uint32_t bytes)
+    {
+        (void)client;
+        (void)bytes;
+    }
+
+    /** A request of @p client left the outstanding set (completion,
+     *  timeout, or hedge retirement) — the drain-before-switch
+     *  signal. Called exactly once per onLaunched. */
+    virtual void onRetired(std::uint32_t client) { (void)client; }
+
+    /** Groups the population is partitioned into (1 = no grouping). */
+    virtual std::uint32_t numGroups() const { return 1; }
+
+    /** Current group of @p client (regrouping may move clients). */
+    virtual std::uint32_t
+    groupOf(std::uint32_t client) const
+    {
+        (void)client;
+        return 0;
+    }
+
+    virtual ConnSchedStats stats() const { return {}; }
+};
+
+using ConnSchedulerPtr = std::unique_ptr<ConnScheduler>;
+
+/** Experiment-level connection-management configuration. */
+struct ConnConfig
+{
+    /**
+     * Logical clients multiplexed onto the emulated client nodes.
+     * 0 (the default) disables the whole client-population model:
+     * requests originate from uniformly random nodes exactly as
+     * before, bit-identically to the pre-connection build.
+     */
+    std::uint32_t numClients = 0;
+
+    /**
+     * Server-NI connection-context (QP) cache capacity, in
+     * connections. 0 derives it: the grouped scheduler's group size
+     * (ScaleRPC sizes the physical pool for exactly one group), or 64
+     * for ungrouped schedulers (an on-chip QP-cache ballpark). Only
+     * consulted while numClients > 0.
+     */
+    std::uint32_t qpCapacity = 0;
+
+    /**
+     * Penalty a request pays at the server NI when its connection
+     * context is not cached (DRAM/PCIe context fetch before dispatch),
+     * nanoseconds. Only consulted while numClients > 0.
+     */
+    double qpColdNs = 1000.0;
+
+    /** Scheduler spec; an empty name means "all". */
+    ConnSpec scheduler{};
+
+    /** Whether the client-population model is enabled at all. */
+    bool active() const { return numClients > 0; }
+
+    /** The scheduler spec with the empty-name default applied. */
+    ConnSpec schedulerSpec() const;
+
+    /**
+     * Fatal on inconsistent settings; resolves the scheduler through
+     * the registry so unknown names and bad parameters die before any
+     * event runs.
+     */
+    void validate() const;
+};
+
+/**
+ * Parse a --connections= / scenario "connections" value: a conn spec
+ * whose optional clients= / qp_capacity= / qp_cold= keys are peeled
+ * into the ConnConfig before the remainder is validated through the
+ * registry, e.g. "grouped:size=40,slice=100us,clients=2048".
+ */
+ConnConfig parseConnConfig(const std::string &text);
+
+/**
+ * The QP-cache capacity a config resolves to (explicit qpCapacity, or
+ * the derivation documented on ConnConfig::qpCapacity).
+ */
+std::uint32_t effectiveQpCapacity(const ConnConfig &cfg);
+
+/** Process-wide name -> factory table for connection schedulers. */
+class ConnRegistry
+{
+  public:
+    /** Builds a scheduler instance from its (validated) spec. */
+    using Factory = std::function<ConnSchedulerPtr(const ConnSpec &)>;
+
+    /** The process-wide registry (created on first use). */
+    static ConnRegistry &instance();
+
+    /** Register @p factory under @p name; duplicate names are fatal. */
+    void add(const std::string &name, Factory factory);
+
+    bool contains(const std::string &name) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Sorted names joined with ", " (for error messages and help). */
+    std::string namesJoined() const;
+
+    /**
+     * Instantiate the scheduler @p spec names. An unregistered name is
+     * fatal, with the message listing every registered name.
+     */
+    ConnSchedulerPtr make(const ConnSpec &spec) const;
+
+  private:
+    ConnRegistry() = default;
+
+    std::map<std::string, Factory> factories_;
+};
+
+/** Registers a factory at static-initialization time. */
+struct ConnRegistrar
+{
+    ConnRegistrar(const std::string &name, ConnRegistry::Factory factory);
+};
+
+} // namespace rpcvalet::conn
+
+#endif // RPCVALET_CONN_CONN_HH

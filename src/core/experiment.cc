@@ -58,6 +58,64 @@ classStats(const app::RequestClass &info,
     return cs;
 }
 
+/**
+ * Connection-management harvest shared by both run paths: scheduler
+ * stats, client-side admission accounting, the servers' summed QP-cache
+ * hit/miss counters, and the modeled connection-state footprint
+ * comparison (every-client-live vs one-group-live).
+ */
+void
+harvestConnStats(const ExperimentConfig &cfg,
+                 const net::TrafficGenerator &tg, std::uint64_t qp_hits,
+                 std::uint64_t qp_misses, std::uint32_t num_servers,
+                 RunStats &out)
+{
+    if (!cfg.connections.active())
+        return;
+    const conn::ConnScheduler *sched = tg.connScheduler();
+    RV_ASSERT(sched != nullptr,
+              "active connection config without a scheduler");
+    const conn::ConnSchedStats ss = sched->stats();
+    out.conn.scheduler = sched->name();
+    out.conn.clients = cfg.connections.numClients;
+    out.conn.groups = ss.groups;
+    out.conn.qpCapacity = conn::effectiveQpCapacity(cfg.connections);
+    out.conn.groupSwitches = ss.groupSwitches;
+    out.conn.warmupHits = ss.warmupHits;
+    out.conn.warmupMisses = ss.warmupMisses;
+    out.conn.regroups = ss.regroups;
+    out.conn.admittedImmediate = tg.connAdmittedImmediate();
+    out.conn.deferredTotal = tg.connDeferred();
+    out.conn.meanDeferredWaitNs =
+        tg.connFlushed() > 0
+            ? sim::toNs(tg.connDeferredWaitTicks()) /
+                  static_cast<double>(tg.connFlushed())
+            : 0.0;
+    out.conn.activeP99Ns = tg.connActiveLatency().p99Ns();
+    out.conn.inactiveP99Ns = tg.connInactiveLatency().p99Ns();
+    out.conn.qpHits = qp_hits;
+    out.conn.qpMisses = qp_misses;
+    // Connection-state footprint model, per server: each live
+    // connection pins its slot set's receive buffers plus QP metadata
+    // (WQ/CQ descriptors, ~32 B + 64 B per slot). Grouping caps the
+    // live set at one group — ScaleRPC's memory argument.
+    const std::uint64_t perConn =
+        static_cast<std::uint64_t>(cfg.system.domain.slotsPerNode) *
+        (32 + cfg.system.domain.maxMsgBytes + 64);
+    out.conn.qpFootprintAllBytes = static_cast<std::uint64_t>(
+                                       cfg.connections.numClients) *
+                                   perConn * num_servers;
+    out.conn.qpFootprintGroupBytes =
+        static_cast<std::uint64_t>(
+            std::min(cfg.connections.numClients, out.conn.qpCapacity)) *
+        perConn * num_servers;
+    out.conn.perGroupAdmitted = tg.connPerGroupAdmitted();
+    out.conn.perGroupDeferred = tg.connPerGroupDeferred();
+    out.conn.perGroupP99Ns.reserve(tg.connPerGroupLatency().size());
+    for (const auto &rec : tg.connPerGroupLatency())
+        out.conn.perGroupP99Ns.push_back(rec.p99Ns());
+}
+
 void
 checkVerifyFailures(const ExperimentConfig &cfg, const RunStats &out)
 {
@@ -95,6 +153,7 @@ runClusterExperiment(const ExperimentConfig &cfg)
 {
     cfg.cluster.validate();
     cfg.retry.validate(cfg.cluster.requestTimeout);
+    cfg.connections.validate();
     RV_ASSERT(cfg.arrivalRps > 0.0, "arrival rate must be positive");
     RV_ASSERT(cfg.measuredRpcs > 0, "need at least one measured RPC");
     const std::uint32_t numServers = cfg.cluster.numServerNodes;
@@ -189,6 +248,14 @@ runClusterExperiment(const ExperimentConfig &cfg)
         // rest of the run. Fault-free runs keep the legacy wait.
         if (faultPlan.dropsPackets())
             sys.replySlotLease = 2 * cfg.cluster.requestTimeout;
+        // Connection management: a client population makes the NI's
+        // connection-context cache finite (sized for one group).
+        if (cfg.connections.active()) {
+            sys.qpCacheCapacity =
+                conn::effectiveQpCapacity(cfg.connections);
+            sys.qpColdFetch =
+                sim::nanoseconds(cfg.connections.qpColdNs);
+        }
         sys.validate();
         apps.push_back(
             app::WorkloadRegistry::instance().make(cfg.workload));
@@ -239,6 +306,7 @@ runClusterExperiment(const ExperimentConfig &cfg)
     tp.retry = cfg.retry;
     if (par)
         tp.arrivalBatchWindow = lookahead;
+    tp.connections = cfg.connections;
     tp.seed = cfg.system.seed;
     net::TrafficGenerator tg(clientSim, tp, cfg.system.domain,
                              *clientApp, fabric, router.get(), &health,
@@ -492,6 +560,14 @@ runClusterExperiment(const ExperimentConfig &cfg)
     out.fault.hedgesSent = tg.hedgesSent();
     out.fault.hedgesWon = tg.hedgesWon();
     out.fault.duplicateReplies = tg.duplicateReplies();
+
+    std::uint64_t qpHits = 0;
+    std::uint64_t qpMisses = 0;
+    for (const auto &n : nodes) {
+        qpHits += n->qpCacheHits();
+        qpMisses += n->qpCacheMisses();
+    }
+    harvestConnStats(cfg, tg, qpHits, qpMisses, numServers, out);
     if (packetFaults != nullptr) {
         out.fault.packetsDropped = packetFaults->dropped();
         out.fault.packetsDelayed = packetFaults->delayed();
@@ -535,6 +611,7 @@ runSingleNodeExperiment(const ExperimentConfig &cfg,
     cfg.system.validate();
     cfg.cluster.validate();
     cfg.retry.validate(cfg.cluster.requestTimeout);
+    cfg.connections.validate();
     // Validate the router spec even though a single-node run never
     // consults it: a typo should die here, not when the config is
     // later scaled up.
@@ -542,15 +619,24 @@ runSingleNodeExperiment(const ExperimentConfig &cfg,
     RV_ASSERT(cfg.arrivalRps > 0.0, "arrival rate must be positive");
     RV_ASSERT(cfg.measuredRpcs > 0, "need at least one measured RPC");
 
+    // A client population makes the NI's connection-context cache
+    // finite; default configs pass cfg.system through untouched.
+    node::SystemParams sys = cfg.system;
+    if (cfg.connections.active()) {
+        sys.qpCacheCapacity = conn::effectiveQpCapacity(cfg.connections);
+        sys.qpColdFetch = sim::nanoseconds(cfg.connections.qpColdNs);
+    }
+
     sim::EventDomain sim;
     net::Fabric fabric(sim, cfg.system.fabricLatency);
-    node::RpcNode node(sim, cfg.system, app, fabric, cfg.warmupRpcs);
+    node::RpcNode node(sim, sys, app, fabric, cfg.warmupRpcs);
 
     net::TrafficGenerator::Params tp;
     tp.arrivalRps = cfg.arrivalRps;
     tp.arrival = cfg.arrival;
     tp.targetNode = cfg.system.nodeId;
     tp.clientTurnaround = cfg.clientTurnaround;
+    tp.connections = cfg.connections;
     tp.seed = cfg.system.seed;
     net::TrafficGenerator tg(sim, tp, cfg.system.domain, app, fabric);
     node.setNestedIssuer(
@@ -650,6 +736,8 @@ runSingleNodeExperiment(const ExperimentConfig &cfg,
     out.staleReplies = tg.staleReplies();
     out.nestedRpcsSent = tg.nestedSent();
     out.chainsCompleted = tg.chainsCompleted();
+    harvestConnStats(cfg, tg, node.qpCacheHits(), node.qpCacheMisses(),
+                     /*num_servers=*/1, out);
 
     checkVerifyFailures(cfg, out);
     return out;

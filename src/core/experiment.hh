@@ -52,6 +52,7 @@
 #include "app/rpc_application.hh"
 #include "app/workload.hh"
 #include "cluster/cluster.hh"
+#include "conn/conn.hh"
 #include "fault/fault.hh"
 #include "net/arrival.hh"
 #include "node/params.hh"
@@ -138,6 +139,16 @@ struct ExperimentConfig
      * synchronous cross-node issue and are fatal with N >= 1.
      */
     unsigned parallelDomains = 0;
+    /**
+     * Connection management (src/conn/): a logical-client population
+     * multiplexed over the emulated client nodes, gated by a
+     * registered connection scheduler ("all", "grouped:size=,slice=")
+     * under a finite server-side QP cache. The default (numClients ==
+     * 0) models no client population and is bit-identical to the
+     * pre-connection build: no extra Rng draws, no extra events, no
+     * QP-cache accounting.
+     */
+    conn::ConnConfig connections{};
     /**
      * fatal() when any reply fails application-level verification
      * (previously verifyFailures was silently reported in RunStats, so
@@ -256,6 +267,52 @@ struct FaultStats
     std::uint64_t healthySamples = 0;
 };
 
+/** Connection-management accounting of one run (all zero/empty when
+ *  cfg.connections is inactive). */
+struct ConnStats
+{
+    /** Canonical scheduler spec ("all", "grouped:size=40,..."). */
+    std::string scheduler;
+    /** Logical-client population size. */
+    std::uint32_t clients = 0;
+    /** Connection groups the population partitioned into. */
+    std::uint32_t groups = 0;
+    /** Server-NI QP-cache capacity the run resolved to. */
+    std::uint32_t qpCapacity = 0;
+    /** Completed group context switches. */
+    std::uint64_t groupSwitches = 0;
+    /** Warmup pre-admissions that released a queued request. */
+    std::uint64_t warmupHits = 0;
+    /** Warmup pre-admissions that found nothing queued. */
+    std::uint64_t warmupMisses = 0;
+    /** End-of-epoch priority regroupings. */
+    std::uint64_t regroups = 0;
+    /** Requests admitted without deferral. */
+    std::uint64_t admittedImmediate = 0;
+    /** Requests deferred until their client's group became active. */
+    std::uint64_t deferredTotal = 0;
+    /** Mean admission wait of released deferred requests, ns. */
+    double meanDeferredWaitNs = 0.0;
+    /** Client-observed p99 of immediately admitted requests, ns. */
+    double activeP99Ns = 0.0;
+    /** Client-observed p99 of deferred requests (wait included), ns. */
+    double inactiveP99Ns = 0.0;
+    /** QP-cache hits/misses summed over the server nodes; each miss
+     *  paid the qpColdFetch penalty before dispatch. */
+    std::uint64_t qpHits = 0;
+    std::uint64_t qpMisses = 0;
+    /** Modeled server-side connection-state footprint if every client
+     *  held live QP/slot state at once (bytes, whole cluster). */
+    std::uint64_t qpFootprintAllBytes = 0;
+    /** Footprint with only one group's connections live (bytes). */
+    std::uint64_t qpFootprintGroupBytes = 0;
+    /** Per-group-position admitted / deferred counts and client-
+     *  observed p99, indexed by group position. */
+    std::vector<std::uint64_t> perGroupAdmitted;
+    std::vector<std::uint64_t> perGroupDeferred;
+    std::vector<double> perGroupP99Ns;
+};
+
 /** Results of one run. */
 struct RunStats
 {
@@ -315,6 +372,9 @@ struct RunStats
     /** Fault-injection / recovery accounting (all zero and empty in
      *  fault-free runs). */
     FaultStats fault;
+    /** Connection-management accounting (all zero and empty without a
+     *  client population). */
+    ConnStats conn;
 };
 
 /**

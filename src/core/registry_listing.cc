@@ -1,0 +1,44 @@
+#include "core/registry_listing.hh"
+
+#include "app/workload.hh"
+#include "cluster/router.hh"
+#include "conn/conn.hh"
+#include "fault/fault.hh"
+#include "net/arrival.hh"
+#include "ni/policy_registry.hh"
+
+namespace rpcvalet::core {
+
+std::vector<RegistryAxis>
+listRegistries()
+{
+    // Each instance() links its built-in registrars before first use,
+    // so the listing is complete no matter which components the
+    // caller has touched so far.
+    return {
+        {"policy", ni::PolicyRegistry::instance().names()},
+        {"arrival", net::ArrivalRegistry::instance().names()},
+        {"workload", app::WorkloadRegistry::instance().names()},
+        {"router", cluster::RouterRegistry::instance().names()},
+        {"fault", fault::FaultRegistry::instance().names()},
+        {"conn", conn::ConnRegistry::instance().names()},
+    };
+}
+
+std::string
+formatRegistryListing()
+{
+    std::string out;
+    for (const RegistryAxis &axis : listRegistries()) {
+        out += axis.axis;
+        out += ":";
+        for (std::size_t i = 0; i < axis.names.size(); ++i) {
+            out += i == 0 ? " " : ", ";
+            out += axis.names[i];
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace rpcvalet::core

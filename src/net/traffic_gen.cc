@@ -30,6 +30,7 @@ TrafficGenerator::TrafficGenerator(sim::EventDomain &sim,
       pending_(static_cast<std::size_t>(domain.numNodes) *
                params.numServers),
       perServerInFlight_(params.numServers),
+      connRng_(params.seed, /*stream=*/0xC04E),
       sweepEvent_(*this, "timeout-sweep")
 {
     RV_ASSERT(params_.numServers >= 1, "need at least one server node");
@@ -55,11 +56,28 @@ TrafficGenerator::TrafficGenerator(sim::EventDomain &sim,
                 slots.push_back(s - 1);
         }
     }
+    if (params_.connections.active()) {
+        params_.connections.validate();
+        connSched_ = conn::ConnRegistry::instance().make(
+            params_.connections.schedulerSpec());
+        connSched_->bind(params_.connections.numClients, sim_,
+                         [this](std::uint32_t client,
+                                std::uint32_t limit) {
+                             return connFlush(client, limit);
+                         });
+        connQueue_.resize(params_.connections.numClients);
+        const std::uint32_t groups = connSched_->numGroups();
+        connPerGroupAdmitted_.assign(groups, 0);
+        connPerGroupDeferred_.assign(groups, 0);
+        connPerGroupLatency_.resize(groups);
+    }
 }
 
 void
 TrafficGenerator::start()
 {
+    if (connSched_ != nullptr)
+        connSched_->start();
     arrivals_.start();
     if (params_.requestTimeout > 0)
         sim_.schedule(sweepEvent_, params_.requestTimeout);
@@ -69,6 +87,8 @@ void
 TrafficGenerator::halt()
 {
     halted_ = true;
+    if (connSched_ != nullptr)
+        connSched_->halt();
     arrivals_.halt();
 }
 
@@ -81,6 +101,19 @@ TrafficGenerator::isUp(std::uint32_t server) const
 void
 TrafficGenerator::onArrival()
 {
+    if (connSched_ != nullptr) {
+        // Client-population model: the arrival belongs to a uniformly
+        // random logical client, whose scheduler decides whether it
+        // may issue now or waits for its group's slice.
+        const std::uint32_t client = static_cast<std::uint32_t>(
+            connRng_.uniformInt(0, params_.connections.numClients - 1));
+        std::vector<std::uint8_t> request = app_.makeRequest(clientRng_);
+        countRequestClass(request);
+        connSubmit(client, std::move(request), /*chain=*/0,
+                   /*attempt=*/1);
+        return;
+    }
+
     const proto::NodeId src = pickClientNode();
 
     // Requests larger than maxMsgBytes are legal: they take the
@@ -89,6 +122,86 @@ TrafficGenerator::onArrival()
     countRequestClass(request);
 
     dispatchRequest(src, std::move(request), /*chain=*/0);
+}
+
+proto::NodeId
+TrafficGenerator::connNodeFor(std::uint32_t client) const
+{
+    // Logical clients multiplex deterministically onto the emulated
+    // client nodes (and their per-(node, server) slot pools), skipping
+    // the server block — no Rng draw, so admission replays are stable.
+    const std::uint32_t numClientNodes =
+        domain_.numNodes - params_.numServers;
+    proto::NodeId n =
+        static_cast<proto::NodeId>(client % numClientNodes);
+    if (n >= params_.targetNode)
+        n += params_.numServers;
+    return n;
+}
+
+void
+TrafficGenerator::connSubmit(std::uint32_t client,
+                             std::vector<std::uint8_t> request,
+                             std::uint64_t chain, std::uint32_t attempt)
+{
+    const std::uint32_t group = connSched_->groupOf(client);
+    if (connSched_->mayIssue(client)) {
+        ++connAdmittedImmediate_;
+        if (group < connPerGroupAdmitted_.size())
+            ++connPerGroupAdmitted_[group];
+        dispatchRequest(connNodeFor(client), std::move(request), chain,
+                        attempt,
+                        ConnTag{client, sim_.now(), /*deferred=*/false});
+        return;
+    }
+    ++connDeferredTotal_;
+    if (group < connPerGroupDeferred_.size())
+        ++connPerGroupDeferred_[group];
+    connQueue_[client].push_back(
+        ConnDeferred{std::move(request), chain, attempt, sim_.now()});
+}
+
+std::uint32_t
+TrafficGenerator::connFlush(std::uint32_t client, std::uint32_t limit)
+{
+    auto &queue = connQueue_[client];
+    std::uint32_t released = 0;
+    while (!queue.empty() && (limit == 0 || released < limit)) {
+        ConnDeferred next = std::move(queue.front());
+        queue.pop_front();
+        connDeferredWait_ += sim_.now() - next.genAt;
+        ++connFlushed_;
+        ++released;
+        // The tag keeps the generation time: the client-observed
+        // latency of a deferred request includes its admission wait.
+        dispatchRequest(connNodeFor(client), std::move(next.bytes),
+                        next.chain, next.attempt,
+                        ConnTag{client, next.genAt, /*deferred=*/true});
+    }
+    return released;
+}
+
+void
+TrafficGenerator::connOnCompleted(const ConnTag &tag,
+                                  std::uint32_t req_bytes)
+{
+    if (connSched_ == nullptr || tag.client == proto::noConnClient)
+        return;
+    const sim::Tick latency = sim_.now() - tag.genAt;
+    (tag.deferred ? connInactiveLatency_ : connActiveLatency_)
+        .record(latency);
+    const std::uint32_t group = connSched_->groupOf(tag.client);
+    if (group < connPerGroupLatency_.size())
+        connPerGroupLatency_[group].record(latency);
+    connSched_->onCompleted(tag.client, req_bytes);
+}
+
+void
+TrafficGenerator::connOnRetired(const ConnTag &tag)
+{
+    if (connSched_ == nullptr || tag.client == proto::noConnClient)
+        return;
+    connSched_->onRetired(tag.client);
 }
 
 proto::NodeId
@@ -167,7 +280,7 @@ void
 TrafficGenerator::dispatchRequest(proto::NodeId src,
                                   std::vector<std::uint8_t> request,
                                   std::uint64_t chain,
-                                  std::uint32_t attempt)
+                                  std::uint32_t attempt, ConnTag conn)
 {
     const std::uint32_t server = routeRequest(src, request);
     const std::size_t pair = pairIndex(src, server);
@@ -176,12 +289,13 @@ TrafficGenerator::dispatchRequest(proto::NodeId src,
         // in flight; the request waits for a replenish (§4.2).
         ++deferrals_;
         pending_[pair].push_back(
-            PendingRequest{std::move(request), chain, attempt});
+            PendingRequest{std::move(request), chain, attempt, conn});
         return;
     }
     const std::uint32_t slot = freeSlots_[pair].back();
     freeSlots_[pair].pop_back();
-    launchRequest(src, server, slot, std::move(request), chain, attempt);
+    launchRequest(src, server, slot, std::move(request), chain, attempt,
+                  /*is_hedge=*/false, conn);
 }
 
 void
@@ -189,7 +303,8 @@ TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t server,
                                 std::uint32_t slot,
                                 std::vector<std::uint8_t> request,
                                 std::uint64_t chain,
-                                std::uint32_t attempt, bool is_hedge)
+                                std::uint32_t attempt, bool is_hedge,
+                                ConnTag conn)
 {
     ++requestsSent_;
     ++inFlight_;
@@ -207,6 +322,8 @@ TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t server,
     // means that duplicate's reply was lost; it can never arrive, so
     // the stale marker must not misclassify this use's late replies.
     expectedDuplicates_.erase(key);
+    if (connSched_ != nullptr && conn.client != proto::noConnClient)
+        connSched_->onLaunched(conn.client);
     if (request.size() > domain_.maxMsgBytes) {
         // Rendezvous (§4.2): announce the payload with a one-block
         // descriptor; the destination NI pulls it with a one-sided
@@ -223,9 +340,11 @@ TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t server,
         descriptor.hdr.rendezvous = true;
         descriptor.hdr.rendezvousBytes =
             static_cast<std::uint32_t>(request.size());
+        descriptor.hdr.connClient = conn.client;
         outstandingRequests_[key] =
             Outstanding{std::move(request), server,   sim_.now(), chain,
-                        attempt,            is_hedge, is_hedge,   kNoKey};
+                        attempt,            is_hedge, is_hedge,   kNoKey,
+                        conn};
         fabric_.send(std::move(descriptor));
         return;
     }
@@ -233,9 +352,12 @@ TrafficGenerator::launchRequest(proto::NodeId src, std::uint32_t server,
         proto::packetize(proto::OpType::Send, src, dst, slot, request);
     outstandingRequests_[key] =
         Outstanding{std::move(request), server,   sim_.now(), chain,
-                    attempt,            is_hedge, is_hedge,   kNoKey};
-    for (auto &pkt : packets)
+                    attempt,            is_hedge, is_hedge,   kNoKey,
+                    conn};
+    for (auto &pkt : packets) {
+        pkt.hdr.connClient = conn.client;
         fabric_.send(std::move(pkt));
+    }
 }
 
 void
@@ -300,13 +422,16 @@ TrafficGenerator::receivePacket(proto::Packet pkt)
         const proto::NodeId reader = pkt.hdr.src;
         const std::uint32_t slot = pkt.hdr.slot;
         const std::vector<std::uint8_t> payload = it->second.bytes;
+        const std::uint32_t connClient = it->second.conn.client;
         sim_.schedule(sim::nanoseconds(60.0),
-                      [this, owner, reader, slot, payload] {
+                      [this, owner, reader, slot, payload, connClient] {
                           auto blocks = proto::packetize(
                               proto::OpType::ReadResponse, owner,
                               reader, slot, payload);
-                          for (auto &b : blocks)
+                          for (auto &b : blocks) {
+                              b.hdr.connClient = connClient;
                               fabric_.send(std::move(b));
+                          }
                       });
         break;
       }
@@ -348,6 +473,9 @@ TrafficGenerator::onReplyComplete(std::uint32_t server,
         const std::uint64_t chain = it->second.chain;
         const std::uint64_t sibling = it->second.sibling;
         const bool wonAsHedge = it->second.isHedge;
+        const ConnTag connTag = it->second.conn;
+        const std::uint32_t connReqBytes =
+            static_cast<std::uint32_t>(it->second.bytes.size());
         outstandingRequests_.erase(it);
         ++repliesReceived_;
         RV_ASSERT(inFlight_ > 0, "in-flight underflow");
@@ -366,7 +494,9 @@ TrafficGenerator::onReplyComplete(std::uint32_t server,
             RV_ASSERT(sit != outstandingRequests_.end(),
                       "hedge sibling vanished before resolution");
             const std::uint32_t loserServer = sit->second.server;
+            const ConnTag loserTag = sit->second.conn;
             outstandingRequests_.erase(sit);
+            connOnRetired(loserTag);
             replies_.erase(sibling);
             RV_ASSERT(inFlight_ > 0, "in-flight underflow");
             --inFlight_;
@@ -382,6 +512,12 @@ TrafficGenerator::onReplyComplete(std::uint32_t server,
         }
         // Likewise a credit parked on this request itself.
         releaseHeldCredit(key);
+        // Connection accounting + the drain-before-switch signal; a
+        // drained group's switch can admit deferred requests, which
+        // re-enter this generator like the chain completion below —
+        // everything above is already settled.
+        connOnCompleted(connTag, connReqBytes);
+        connOnRetired(connTag);
         // Last among the accounting: the chain-group completion may
         // re-enter this generator (a resumed parent's own reply
         // path), so everything above must already be settled. The
@@ -454,7 +590,8 @@ TrafficGenerator::recycleSlot(proto::NodeId client, std::uint32_t server,
         PendingRequest next = std::move(pending_[pair].front());
         pending_[pair].pop_front();
         launchRequest(client, server, slot, std::move(next.bytes),
-                      next.chain, next.attempt);
+                      next.chain, next.attempt, /*is_hedge=*/false,
+                      next.conn);
     } else {
         freeSlots_[pair].push_back(slot);
     }
@@ -521,7 +658,9 @@ TrafficGenerator::sweepTimeouts()
         const std::uint64_t chain = it->second.chain;
         const std::uint32_t attempt = it->second.attempt;
         const std::uint64_t sibling = it->second.sibling;
+        const ConnTag connTag = it->second.conn;
         outstandingRequests_.erase(it);
+        connOnRetired(connTag);
         // A partially assembled reply for the dead request must not
         // pollute the slot's next use.
         replies_.erase(key);
@@ -576,7 +715,25 @@ TrafficGenerator::sweepTimeouts()
             }
             backoff = static_cast<sim::Tick>(delay);
         }
-        if (backoff == 0) {
+        if (connTag.client != proto::noConnClient) {
+            // A retried conn request re-enters the admission gate with
+            // a fresh generation time: its client's group may have
+            // rotated away since the original send.
+            const std::uint32_t connClient = connTag.client;
+            if (backoff == 0) {
+                connSubmit(connClient, std::move(request), chain,
+                           attempt + 1);
+            } else {
+                sim_.schedule(
+                    backoff, [this, connClient, chain, attempt,
+                              request = std::move(request)]() mutable {
+                        if (halted_)
+                            return;
+                        connSubmit(connClient, std::move(request),
+                                   chain, attempt + 1);
+                    });
+            }
+        } else if (backoff == 0) {
             // Legacy path: immediate re-dispatch, no extra event.
             dispatchRequest(client, std::move(request), chain,
                             attempt + 1);
@@ -610,6 +767,10 @@ TrafficGenerator::hedgeRequest(std::uint64_t primary_key)
     std::vector<std::uint8_t> copy = it->second.bytes;
     const std::uint64_t chain = it->second.chain;
     const std::uint32_t attempt = it->second.attempt;
+    // The duplicate covers the same logical client's request, so it
+    // inherits the primary's connection identity (its admission was
+    // already granted; hedging does not re-enter the gate).
+    const ConnTag connTag = it->second.conn;
     // Route the duplicate independently — under load-aware routing it
     // lands on a less-loaded (often different) server than the slow
     // primary.
@@ -627,7 +788,7 @@ TrafficGenerator::hedgeRequest(std::uint64_t primary_key)
     // The hedge shares the primary's chain group; exactly one of the
     // pair completes it (the loser retires as a duplicate).
     launchRequest(client, server, slot, std::move(copy), chain, attempt,
-                  /*is_hedge=*/true);
+                  /*is_hedge=*/true, connTag);
     ++hedgesSent_;
     // launchRequest may rehash the map: re-find both halves to link.
     auto pit = outstandingRequests_.find(primary_key);
@@ -654,7 +815,7 @@ TrafficGenerator::drainPending(std::uint32_t server)
     for (auto &[client, request] : queued) {
         ++reroutes_;
         dispatchRequest(client, std::move(request.bytes), request.chain,
-                        request.attempt);
+                        request.attempt, request.conn);
     }
 }
 

@@ -44,13 +44,29 @@
 #include "app/rpc_application.hh"
 #include "cluster/router.hh"
 #include "cluster/topology.hh"
+#include "conn/conn.hh"
 #include "fault/fault.hh"
 #include "net/arrival.hh"
 #include "net/fabric.hh"
 #include "proto/messaging.hh"
 #include "sim/domain.hh"
+#include "stats/latency_recorder.hh"
 
 namespace rpcvalet::net {
+
+/**
+ * Connection identity a request carries through its in-flight
+ * life: the logical client it belongs to, when the client
+ * generated it (client-observed latency origin), and whether
+ * admission deferred it. Default-constructed (client ==
+ * proto::noConnClient) on every legacy-path request.
+ */
+struct ConnTag
+{
+    std::uint32_t client = proto::noConnClient;
+    sim::Tick genAt = 0;
+    bool deferred = false;
+};
 
 /** Emulates the remote client nodes of the messaging domain. */
 class TrafficGenerator : private cluster::ClusterView
@@ -84,6 +100,10 @@ class TrafficGenerator : private cluster::ClusterView
          *  Parallel-domain runs set this to the lookahead so a whole
          *  window's arrivals are generated per refill. */
         sim::Tick arrivalBatchWindow = 0;
+        /** Client-population model (src/conn/): logical clients and
+         *  their connection scheduler. numClients == 0 (the default)
+         *  keeps the legacy anonymous-arrival path bit-identically. */
+        conn::ConnConfig connections{};
         /** Experiment seed. */
         std::uint64_t seed = 1;
     };
@@ -187,6 +207,63 @@ class TrafficGenerator : private cluster::ClusterView
      *  separately from staleReplies: they are expected). */
     std::uint64_t duplicateReplies() const { return duplicateReplies_; }
 
+    // ----- connection management (src/conn/; inert when the config
+    //       has no client population) -----
+
+    /** The run's connection scheduler (null without a population). */
+    const conn::ConnScheduler *
+    connScheduler() const
+    {
+        return connSched_.get();
+    }
+
+    /** Requests the scheduler admitted without deferral. */
+    std::uint64_t connAdmittedImmediate() const
+    {
+        return connAdmittedImmediate_;
+    }
+
+    /** Requests deferred because their client could not issue. */
+    std::uint64_t connDeferred() const { return connDeferredTotal_; }
+
+    /** Deferred requests since released by the scheduler. */
+    std::uint64_t connFlushed() const { return connFlushed_; }
+
+    /** Aggregate ticks released requests spent waiting for admission. */
+    sim::Tick connDeferredWaitTicks() const { return connDeferredWait_; }
+
+    /** Client-observed latency of immediately admitted requests. */
+    const stats::LatencyRecorder &connActiveLatency() const
+    {
+        return connActiveLatency_;
+    }
+
+    /** Client-observed latency of requests that waited for their
+     *  group's slice (includes the wait). */
+    const stats::LatencyRecorder &connInactiveLatency() const
+    {
+        return connInactiveLatency_;
+    }
+
+    /** Per-group-position admitted counts (index = group). */
+    const std::vector<std::uint64_t> &connPerGroupAdmitted() const
+    {
+        return connPerGroupAdmitted_;
+    }
+
+    /** Per-group-position deferred counts (index = group). */
+    const std::vector<std::uint64_t> &connPerGroupDeferred() const
+    {
+        return connPerGroupDeferred_;
+    }
+
+    /** Per-group-position client-observed latency recorders. */
+    const std::vector<stats::LatencyRecorder> &
+    connPerGroupLatency() const
+    {
+        return connPerGroupLatency_;
+    }
+
   private:
     // cluster::ClusterView — what routers may observe.
     std::uint32_t numServers() const override { return params_.numServers; }
@@ -218,6 +295,22 @@ class TrafficGenerator : private cluster::ClusterView
     void onArrival();
     /** Uniformly random remote source node (skips the server block). */
     proto::NodeId pickClientNode();
+    /** Deterministic emulated source node of a logical client. */
+    proto::NodeId connNodeFor(std::uint32_t client) const;
+    /** Admission gate: dispatch now if the scheduler allows, else
+     *  queue on the client until the scheduler releases it. */
+    void connSubmit(std::uint32_t client,
+                    std::vector<std::uint8_t> request,
+                    std::uint64_t chain, std::uint32_t attempt);
+    /** The scheduler's AdmitFn: release up to @p limit queued
+     *  requests of @p client (0 = all); returns the count released. */
+    std::uint32_t connFlush(std::uint32_t client, std::uint32_t limit);
+    /** Completion-side accounting + scheduler callbacks for a
+     *  finishing conn-tagged request (no-op on legacy tags). */
+    void connOnCompleted(const ConnTag &tag, std::uint32_t req_bytes);
+    /** The exactly-once drain signal for any conn-tagged request
+     *  leaving the outstanding set (no-op on legacy tags). */
+    void connOnRetired(const ConnTag &tag);
     /** Bump the per-class generation counter off the wire bytes. */
     void countRequestClass(const std::vector<std::uint8_t> &request);
     /** Route @p request and launch it (or queue it on the chosen
@@ -225,14 +318,15 @@ class TrafficGenerator : private cluster::ClusterView
      *  (0 = ordinary client request); @p attempt is 1-based. */
     void dispatchRequest(proto::NodeId src,
                          std::vector<std::uint8_t> request,
-                         std::uint64_t chain, std::uint32_t attempt = 1);
+                         std::uint64_t chain, std::uint32_t attempt = 1,
+                         ConnTag conn = ConnTag());
     std::uint32_t routeRequest(proto::NodeId src,
                                const std::vector<std::uint8_t> &request);
     void launchRequest(proto::NodeId src, std::uint32_t server,
                        std::uint32_t slot,
                        std::vector<std::uint8_t> request,
                        std::uint64_t chain, std::uint32_t attempt = 1,
-                       bool is_hedge = false);
+                       bool is_hedge = false, ConnTag conn = ConnTag());
     /** Send a hedged duplicate of the outstanding request at
      *  @p primary_key (no-op if no slot is free at the hedge's
      *  routed target — the next sweep retries). */
@@ -281,6 +375,7 @@ class TrafficGenerator : private cluster::ClusterView
         std::vector<std::uint8_t> bytes;
         std::uint64_t chain = 0;
         std::uint32_t attempt = 1;
+        ConnTag conn{};
     };
     /** Requests waiting for a slot, per (client, server) pair. */
     std::vector<std::deque<PendingRequest>> pending_;
@@ -308,6 +403,8 @@ class TrafficGenerator : private cluster::ClusterView
         /** Key of the other half of the hedge pair (kNoKey = none);
          *  cleared on the survivor when either side retires. */
         std::uint64_t sibling = kNoKey;
+        /** Connection identity (legacy default on anonymous paths). */
+        ConnTag conn{};
     };
     /** Outstanding requests keyed by reqKey(server, client, slot). */
     std::unordered_map<std::uint64_t, Outstanding> outstandingRequests_;
@@ -364,6 +461,33 @@ class TrafficGenerator : private cluster::ClusterView
     std::uint64_t nestedSent_ = 0;
     std::uint64_t chainsCompleted_ = 0;
     bool halted_ = false;
+
+    // ----- connection management (all empty/zero when inactive) -----
+
+    /** The run's connection scheduler (null = no client population). */
+    conn::ConnSchedulerPtr connSched_;
+    /** Client-identity stream; drawn only when the population model
+     *  is active, so legacy runs stay bit-identical. */
+    sim::Rng connRng_;
+    /** A request waiting for its client's admission. */
+    struct ConnDeferred
+    {
+        std::vector<std::uint8_t> bytes;
+        std::uint64_t chain = 0;
+        std::uint32_t attempt = 1;
+        sim::Tick genAt = 0;
+    };
+    /** Deferred requests, per logical client. */
+    std::vector<std::deque<ConnDeferred>> connQueue_;
+    std::uint64_t connAdmittedImmediate_ = 0;
+    std::uint64_t connDeferredTotal_ = 0;
+    std::uint64_t connFlushed_ = 0;
+    sim::Tick connDeferredWait_ = 0;
+    stats::LatencyRecorder connActiveLatency_;
+    stats::LatencyRecorder connInactiveLatency_;
+    std::vector<std::uint64_t> connPerGroupAdmitted_;
+    std::vector<std::uint64_t> connPerGroupDeferred_;
+    std::vector<stats::LatencyRecorder> connPerGroupLatency_;
 
     sim::MemberEvent<TrafficGenerator, &TrafficGenerator::sweepTimeouts>
         sweepEvent_;

@@ -108,7 +108,7 @@ NiBackend::processIngress(proto::Packet pkt, sim::Tick arrival)
             sim_.schedule(*ev, memory_.counterUpdateLatency());
             break;
         }
-        signalCompletion(index, pkt.hdr.src);
+        signalCompletion(index, pkt.hdr.src, pkt.hdr.connClient);
         break;
       }
       case proto::OpType::ReadResponse: {
@@ -118,7 +118,7 @@ NiBackend::processIngress(proto::Packet pkt, sim::Tick arrival)
         if (complete) {
             const std::uint32_t index =
                 recv_.domain().slotIndex(pkt.hdr.src, pkt.hdr.slot);
-            signalCompletion(index, pkt.hdr.src);
+            signalCompletion(index, pkt.hdr.src, pkt.hdr.connClient);
         }
         break;
       }
@@ -135,7 +135,8 @@ NiBackend::processIngress(proto::Packet pkt, sim::Tick arrival)
 }
 
 void
-NiBackend::signalCompletion(std::uint32_t index, proto::NodeId src)
+NiBackend::signalCompletion(std::uint32_t index, proto::NodeId src,
+                            std::uint32_t conn_client)
 {
     const mem::RecvSlot &slot = recv_.slot(index);
     proto::CompletionQueueEntry cqe;
@@ -144,6 +145,9 @@ NiBackend::signalCompletion(std::uint32_t index, proto::NodeId src)
     cqe.msgBytes = slot.msgBytes;
     cqe.firstPacketTick = slot.firstPacketTick;
     cqe.completionTick = sim_.now();
+    // The stateless protocol repeats the header on every block, so the
+    // completing packet's connection id is the message's.
+    cqe.connClient = conn_client;
     ++completions_;
     // The completion is known one counter update after the last
     // packet clears the pipeline.

@@ -133,7 +133,8 @@ class NiBackend
     };
 
     void processIngress(proto::Packet pkt, sim::Tick arrival);
-    void signalCompletion(std::uint32_t index, proto::NodeId src);
+    void signalCompletion(std::uint32_t index, proto::NodeId src,
+                          std::uint32_t conn_client);
 
     sim::EventDomain &sim_;
     Params params_;

@@ -78,6 +78,9 @@ class Dispatcher
     /** Peak shared CQ occupancy. */
     std::size_t sharedCqPeak() const { return sharedCq_.highWatermark(); }
 
+    /** Restart peak tracking (recording-window opener). */
+    void resetSharedCqPeak() { sharedCq_.resetHighWatermark(); }
+
     /** Total dispatch decisions made. */
     std::uint64_t dispatched() const { return dispatched_; }
 

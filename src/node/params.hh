@@ -132,6 +132,27 @@ struct SystemParams
      */
     sim::Tick replySlotLease = 0;
 
+    /**
+     * Connection-context (QP) cache capacity of the NI, in
+     * connections (0 = unlimited, the legacy default: no connection
+     * state is ever scarce). When positive and a message carries a
+     * logical client id (see proto::PacketHeader::connClient), the
+     * node keys an LRU cache on (src node, client); a miss delays the
+     * message's dispatch by qpColdFetch while the NI pulls the
+     * context from memory. The connection-management layer
+     * (src/conn/) sizes this for one ScaleRPC group.
+     */
+    std::uint32_t qpCacheCapacity = 0;
+    /** Context-fetch penalty a QP-cache miss pays before dispatch. */
+    sim::Tick qpColdFetch = sim::nanoseconds(1000.0);
+    /**
+     * Minimum gap between context-fetch starts: the NI's fetch engine
+     * is pipelined but finite, so sustained misses above 1/qpFetchGap
+     * queue behind each other (thrash costs throughput, not just
+     * latency).
+     */
+    sim::Tick qpFetchGap = sim::nanoseconds(200.0);
+
     /** One-way inter-node fabric latency. */
     sim::Tick fabricLatency = sim::nanoseconds(100.0);
 

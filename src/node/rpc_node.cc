@@ -218,6 +218,58 @@ void
 RpcNode::onMessageComplete(std::uint32_t backend_id,
                            proto::CompletionQueueEntry cqe)
 {
+    // Connection-context cache (src/conn/): when the NI can only hold
+    // qpCacheCapacity connection contexts, a message from an uncached
+    // (src, client) pair pays the context fetch from memory before its
+    // completion can be dispatched. Default runs (capacity 0, or no
+    // client-population model tagging packets) skip this entirely.
+    if (params_.qpCacheCapacity > 0 &&
+        cqe.connClient != proto::noConnClient &&
+        !qpCacheLookup(cqe.srcNode, cqe.connClient)) {
+        // The fetch engine is a shared, pipelined resource: it can
+        // START a new context fetch every qpFetchGap, and each fetch
+        // completes qpColdFetch after it starts. Under cache thrash
+        // the engine saturates and misses queue behind each other —
+        // the throughput collapse that makes connection grouping
+        // worthwhile, not just a fixed latency adder.
+        const sim::Tick now = sim_.now();
+        const sim::Tick issue =
+            std::max(now, qpFetchNextIssue_);
+        qpFetchNextIssue_ = issue + params_.qpFetchGap;
+        const sim::Tick done = issue + params_.qpColdFetch;
+        sim_.schedule(done - now, [this, backend_id, cqe] {
+            dispatchMessage(backend_id, cqe);
+        });
+        return;
+    }
+    dispatchMessage(backend_id, std::move(cqe));
+}
+
+bool
+RpcNode::qpCacheLookup(proto::NodeId src, std::uint32_t conn_client)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(src) << 32) | conn_client;
+    auto it = qpLruPos_.find(key);
+    if (it != qpLruPos_.end()) {
+        ++qpHits_;
+        qpLru_.splice(qpLru_.begin(), qpLru_, it->second);
+        return true;
+    }
+    ++qpMisses_;
+    if (qpLruPos_.size() >= params_.qpCacheCapacity) {
+        qpLruPos_.erase(qpLru_.back());
+        qpLru_.pop_back();
+    }
+    qpLru_.push_front(key);
+    qpLruPos_[key] = qpLru_.begin();
+    return false;
+}
+
+void
+RpcNode::dispatchMessage(std::uint32_t backend_id,
+                         proto::CompletionQueueEntry cqe)
+{
     switch (params_.mode) {
       case ni::DispatchMode::SingleQueue: {
         // §4.3: the backend wraps the completion in a special packet
@@ -329,6 +381,21 @@ RpcNode::setDegradedWindows(
     std::vector<std::pair<sim::Tick, sim::Tick>> windows)
 {
     degradedWindows_ = std::move(windows);
+}
+
+void
+RpcNode::setRecording(bool recording)
+{
+    // Opening the measurement window restarts peak-occupancy tracking,
+    // so recvSlotPeak/sharedCqPeak and friends describe the measured
+    // interval instead of whatever the warmup burst piled up.
+    if (recording && !recording_) {
+        for (Core &c : cores_)
+            c.privateCq.resetHighWatermark();
+        for (auto &d : dispatchers_)
+            d->resetSharedCqPeak();
+    }
+    recording_ = recording;
 }
 
 bool

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -126,9 +127,12 @@ class RpcNode
     /**
      * Enable/disable latency recording (cluster runs switch it on at
      * the measurement window; served counters always run). On by
-     * default, so single-node behavior is unchanged.
+     * default, so single-node behavior is unchanged. Turning recording
+     * on also restarts the queue-occupancy high watermarks (private
+     * CQs, dispatcher shared CQs), so peak stats describe the measured
+     * window rather than warmup transients.
      */
-    void setRecording(bool recording) { recording_ = recording; }
+    void setRecording(bool recording);
 
     /** Packets dropped while failed. */
     std::uint64_t droppedPackets() const { return droppedPackets_; }
@@ -207,6 +211,12 @@ class RpcNode
 
     /** Preemption yields taken (0 unless preemptionQuantum is set). */
     std::uint64_t preemptionYields() const { return preemptionYields_; }
+
+    /** QP-cache hits (0 unless qpCacheCapacity is set). */
+    std::uint64_t qpCacheHits() const { return qpHits_; }
+
+    /** QP-cache misses, each paying qpColdFetch before dispatch. */
+    std::uint64_t qpCacheMisses() const { return qpMisses_; }
 
     /** Peak busy receive slots (memory-footprint diagnostics). */
     std::uint32_t recvSlotPeak() const;
@@ -307,6 +317,11 @@ class RpcNode
     // --- event flow ---
     void onMessageComplete(std::uint32_t backend_id,
                            proto::CompletionQueueEntry cqe);
+    /** True iff the message's connection context is cached (touches
+     *  the LRU either way; only called when a cache is configured). */
+    bool qpCacheLookup(proto::NodeId src, std::uint32_t conn_client);
+    void dispatchMessage(std::uint32_t backend_id,
+                         proto::CompletionQueueEntry cqe);
     void scheduleCqeHop(CqeEvent::Kind kind, proto::CoreId core,
                         proto::CompletionQueueEntry cqe, sim::Tick delay);
     void deliverCqeToCore(proto::CoreId core,
@@ -361,6 +376,18 @@ class RpcNode
     };
     std::unordered_map<std::uint32_t, Continuation> continuations_;
     std::uint64_t preemptionYields_ = 0;
+
+    /** Connection-context (QP) cache: LRU over (src node, client)
+     *  keys, active only when params_.qpCacheCapacity > 0. Purely
+     *  domain-local state, so parallel runs stay deterministic. */
+    std::list<std::uint64_t> qpLru_;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        qpLruPos_;
+    std::uint64_t qpHits_ = 0;
+    std::uint64_t qpMisses_ = 0;
+    /** Earliest tick the pipelined fetch engine can start the next
+     *  context fetch (misses serialize at 1/qpFetchGap). */
+    sim::Tick qpFetchNextIssue_ = 0;
     CompletionHook completionHook_;
     NestedIssuer nestedIssuer_;
     bool failed_ = false;

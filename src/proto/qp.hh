@@ -51,6 +51,9 @@ struct CompletionQueueEntry
     sim::Tick completionTick = 0;
     /** Tick the CQE landed in the serving core's private CQ. */
     sim::Tick deliveredTick = 0;
+    /** Logical client (connection) of the message, or noConnClient —
+     *  the server NI's QP-cache key (see packet.hh). */
+    std::uint32_t connClient = noConnClient;
 };
 
 /**
@@ -72,6 +75,13 @@ class Fifo
     bool empty() const { return queue_.empty(); }
     std::size_t size() const { return queue_.size(); }
     std::size_t highWatermark() const { return highWatermark_; }
+
+    /**
+     * Restart high-watermark tracking from the current occupancy.
+     * Recording-window openers call this so post-warmup occupancy
+     * stats no longer include warmup transients.
+     */
+    void resetHighWatermark() { highWatermark_ = queue_.size(); }
 
     const Entry &front() const { return queue_.front(); }
 

@@ -75,11 +75,12 @@ writeAxes(std::FILE *f, const ScenarioPoint &pt)
     std::fprintf(f,
                  "\"workload\": \"%s\", \"policy\": \"%s\", "
                  "\"arrival\": \"%s\", \"router\": \"%s\", "
-                 "\"nodes\": %u",
+                 "\"scheduler\": \"%s\", \"nodes\": %u",
                  jsonEscape(pt.workload).c_str(),
                  jsonEscape(pt.policy).c_str(),
                  jsonEscape(pt.arrival).c_str(),
-                 jsonEscape(pt.router).c_str(), pt.nodes);
+                 jsonEscape(pt.router).c_str(),
+                 jsonEscape(pt.scheduler).c_str(), pt.nodes);
 }
 
 /** The build/git/timestamp provenance stamp every artifact carries. */
@@ -190,6 +191,55 @@ writePointJson(const std::string &path, const Scenario &scn,
     }
     std::fputs("]}", f);
 
+    std::fprintf(f,
+                 ",\n  \"conn\": {\"scheduler\": \"%s\", "
+                 "\"clients\": %u, \"groups\": %u, "
+                 "\"qp_capacity\": %u",
+                 jsonEscape(st.conn.scheduler).c_str(),
+                 st.conn.clients, st.conn.groups, st.conn.qpCapacity);
+    std::fputs(",\n    \"group_switches\": ", f);
+    jsonUint(f, st.conn.groupSwitches);
+    std::fputs(", \"warmup_hits\": ", f);
+    jsonUint(f, st.conn.warmupHits);
+    std::fputs(", \"warmup_misses\": ", f);
+    jsonUint(f, st.conn.warmupMisses);
+    std::fputs(", \"regroups\": ", f);
+    jsonUint(f, st.conn.regroups);
+    std::fputs(",\n    \"admitted_immediate\": ", f);
+    jsonUint(f, st.conn.admittedImmediate);
+    std::fputs(", \"deferred_total\": ", f);
+    jsonUint(f, st.conn.deferredTotal);
+    std::fputs(", \"mean_deferred_wait_ns\": ", f);
+    jsonNumber(f, st.conn.meanDeferredWaitNs);
+    std::fputs(",\n    \"active_p99_ns\": ", f);
+    jsonNumber(f, st.conn.activeP99Ns);
+    std::fputs(", \"inactive_p99_ns\": ", f);
+    jsonNumber(f, st.conn.inactiveP99Ns);
+    std::fputs(",\n    \"qp_hits\": ", f);
+    jsonUint(f, st.conn.qpHits);
+    std::fputs(", \"qp_misses\": ", f);
+    jsonUint(f, st.conn.qpMisses);
+    std::fputs(", \"qp_footprint_all_bytes\": ", f);
+    jsonUint(f, st.conn.qpFootprintAllBytes);
+    std::fputs(", \"qp_footprint_group_bytes\": ", f);
+    jsonUint(f, st.conn.qpFootprintGroupBytes);
+    std::fputs(",\n    \"per_group\": [", f);
+    for (std::size_t g = 0; g < st.conn.perGroupAdmitted.size(); ++g) {
+        std::fprintf(f, "%s\n      {\"group\": %zu, \"admitted\": ",
+                     g == 0 ? "" : ",", g);
+        jsonUint(f, st.conn.perGroupAdmitted[g]);
+        std::fputs(", \"deferred\": ", f);
+        jsonUint(f, g < st.conn.perGroupDeferred.size()
+                        ? st.conn.perGroupDeferred[g]
+                        : 0);
+        std::fputs(", \"p99_ns\": ", f);
+        jsonNumber(f, g < st.conn.perGroupP99Ns.size()
+                          ? st.conn.perGroupP99Ns[g]
+                          : 0.0);
+        std::fputs("}", f);
+    }
+    std::fputs("]}", f);
+
     std::fputs(",\n  \"per_class\": [", f);
     for (std::size_t c = 0; c < st.perClass.size(); ++c) {
         const core::ClassStats &cs = st.perClass[c];
@@ -295,7 +345,7 @@ appendPointMetrics(stats::MetricsExporter &mx, const Scenario &scn,
 {
     const ScenarioPoint &pt = res.point;
     const core::RunStats &st = res.stats;
-    const stats::MetricsExporter::Labels base{
+    stats::MetricsExporter::Labels base{
         {"scenario", scn.name},
         {"point", sim::strfmt("%zu", pt.index)},
         {"workload", pt.workload},
@@ -304,6 +354,10 @@ appendPointMetrics(stats::MetricsExporter &mx, const Scenario &scn,
         {"router", pt.router},
         {"nodes", sim::strfmt("%u", pt.nodes)},
     };
+    // Connection-scheduler axis label only when the subsystem is on,
+    // so legacy scenarios keep byte-identical metrics output.
+    if (!pt.scheduler.empty())
+        base.emplace_back("scheduler", pt.scheduler);
 
     mx.gauge("rpcvalet_offered_rps",
              "Offered aggregate arrival rate, requests per second.",
@@ -354,6 +408,61 @@ appendPointMetrics(stats::MetricsExporter &mx, const Scenario &scn,
     mx.counter("rpcvalet_corruptions_detected_total",
                "Corrupted replies caught by client-side verification.",
                static_cast<double>(st.fault.corruptionsDetected), base);
+
+    if (st.conn.clients > 0) {
+        // base already carries the scheduler label whenever the
+        // subsystem is active (pt.scheduler is non-empty then).
+        const stats::MetricsExporter::Labels &conn_base = base;
+        mx.gauge("rpcvalet_conn_clients",
+                 "Logical clients in the connection population.",
+                 static_cast<double>(st.conn.clients), conn_base);
+        mx.gauge("rpcvalet_conn_groups",
+                 "Connection groups the population partitioned into.",
+                 static_cast<double>(st.conn.groups), conn_base);
+        mx.gauge("rpcvalet_conn_qp_capacity",
+                 "Server-NI QP-cache capacity the run resolved to.",
+                 static_cast<double>(st.conn.qpCapacity), conn_base);
+        mx.counter("rpcvalet_conn_group_switches_total",
+                   "Completed connection-group context switches.",
+                   static_cast<double>(st.conn.groupSwitches),
+                   conn_base);
+        mx.counter("rpcvalet_conn_warmup_hits_total",
+                   "Warmup pre-admissions that released a queued "
+                   "request.",
+                   static_cast<double>(st.conn.warmupHits), conn_base);
+        mx.counter("rpcvalet_conn_warmup_misses_total",
+                   "Warmup pre-admissions that found nothing queued.",
+                   static_cast<double>(st.conn.warmupMisses),
+                   conn_base);
+        mx.counter("rpcvalet_conn_regroups_total",
+                   "End-of-epoch priority regroupings.",
+                   static_cast<double>(st.conn.regroups), conn_base);
+        mx.counter("rpcvalet_conn_admitted_immediate_total",
+                   "Requests admitted without deferral.",
+                   static_cast<double>(st.conn.admittedImmediate),
+                   conn_base);
+        mx.counter("rpcvalet_conn_deferred_total",
+                   "Requests deferred until their group went active.",
+                   static_cast<double>(st.conn.deferredTotal),
+                   conn_base);
+        mx.gauge("rpcvalet_conn_mean_deferred_wait_ns",
+                 "Mean admission wait of deferred requests, ns.",
+                 st.conn.meanDeferredWaitNs, conn_base);
+        mx.gauge("rpcvalet_conn_active_p99_ns",
+                 "Client-observed p99 of immediately admitted "
+                 "requests, ns.",
+                 st.conn.activeP99Ns, conn_base);
+        mx.gauge("rpcvalet_conn_inactive_p99_ns",
+                 "Client-observed p99 of deferred requests (admission "
+                 "wait included), ns.",
+                 st.conn.inactiveP99Ns, conn_base);
+        mx.counter("rpcvalet_conn_qp_hits_total",
+                   "Server QP-cache hits.",
+                   static_cast<double>(st.conn.qpHits), conn_base);
+        mx.counter("rpcvalet_conn_qp_misses_total",
+                   "Server QP-cache misses (cold-fetch penalty paid).",
+                   static_cast<double>(st.conn.qpMisses), conn_base);
+    }
 
     for (const core::ClassStats &cs : st.perClass) {
         stats::MetricsExporter::Labels labels = base;

@@ -9,6 +9,7 @@
 
 #include "app/workload.hh"
 #include "cluster/router.hh"
+#include "conn/conn.hh"
 #include "fault/fault.hh"
 #include "net/arrival.hh"
 #include "ni/dispatch_policy.hh"
@@ -153,6 +154,12 @@ validateRouter(const std::string &spec)
         cluster::RouterSpec(spec));
 }
 
+void
+validateConnScheduler(const std::string &spec)
+{
+    (void)conn::ConnRegistry::instance().make(conn::ConnSpec(spec));
+}
+
 /** File stem ("out/herd.scn" -> "herd") for the default name. */
 std::string
 stemOf(const std::string &path)
@@ -186,11 +193,12 @@ class Parser
                 die("malformed section header '" + text + "'");
             section_ = trim(text.substr(1, text.size() - 2));
             if (section_ != "experiment" && section_ != "cluster" &&
-                section_ != "chaos" && section_ != "sweep" &&
-                section_ != "slo" && section_ != "output") {
+                section_ != "connections" && section_ != "chaos" &&
+                section_ != "sweep" && section_ != "slo" &&
+                section_ != "output") {
                 die("unknown section '[" + section_ +
-                    "]' (expected experiment, cluster, chaos, sweep, "
-                    "slo, or output)");
+                    "]' (expected experiment, cluster, connections, "
+                    "chaos, sweep, slo, or output)");
             }
             return;
         }
@@ -215,6 +223,8 @@ class Parser
             experimentKey(key, value);
         else if (section_ == "cluster")
             clusterKey(key, value);
+        else if (section_ == "connections")
+            connectionsKey(key, value);
         else if (section_ == "chaos")
             chaosKey(key, value);
         else if (section_ == "sweep")
@@ -238,6 +248,24 @@ class Parser
             sim::fatal(source_ + ": no load axis — add 'load = ...' "
                        "(capacity fractions) or 'rps = ...' (absolute "
                        "rates) to [sweep]");
+        }
+        if (!out_.schedulers.empty() &&
+            !out_.base.connections.active()) {
+            // Sweeping schedulers with no client population would
+            // compare N copies of the legacy path.
+            sim::fatal(source_ + ": [sweep] 'scheduler' axis needs an "
+                       "active [connections] section ('clients = N')");
+        }
+        if (connSectionSeen_ && !out_.base.connections.active()) {
+            // The section only means something with a population: a
+            // scheduler/qp tweak with no clients would silently run
+            // the legacy path.
+            sim::fatal(source_ + ": [connections] section without a "
+                       "'clients = N' key — the subsystem stays off");
+        }
+        if (out_.base.connections.active()) {
+            sim::ErrorContext ctx(source_ + ": [connections]");
+            out_.base.connections.validate();
         }
         if (out_.base.retry.active()) {
             // Cross-section check: an active [chaos] retry policy
@@ -344,6 +372,40 @@ class Parser
     }
 
     void
+    connectionsKey(const std::string &key, const std::string &value)
+    {
+        connSectionSeen_ = true;
+        if (key == "nodes") {
+            // Messaging-domain size: emulated endpoints the logical
+            // clients are multiplexed onto, NOT the server count.
+            const std::uint64_t n = parseUint(value);
+            if (n < 2 || n > 100000)
+                sim::fatal("'nodes' must be in [2, 100000]");
+            out_.base.system.domain.numNodes =
+                static_cast<std::uint32_t>(n);
+        } else if (key == "clients") {
+            const std::uint64_t n = parseUint(value);
+            if (n < 1 || n > (1u << 24))
+                sim::fatal("'clients' must be in [1, 2^24]");
+            out_.base.connections.numClients =
+                static_cast<std::uint32_t>(n);
+        } else if (key == "scheduler") {
+            validateConnScheduler(value);
+            out_.base.connections.scheduler = conn::ConnSpec(value);
+        } else if (key == "qp_capacity") {
+            out_.base.connections.qpCapacity =
+                static_cast<std::uint32_t>(parseUint(value));
+        } else if (key == "qp_cold") {
+            out_.base.connections.qpColdNs =
+                sim::toNs(parseTick(value));
+        } else {
+            die("unknown [connections] key '" + key +
+                "' (expected nodes, clients, scheduler, qp_capacity, "
+                "or qp_cold)");
+        }
+    }
+
+    void
     chaosKey(const std::string &key, const std::string &value)
     {
         if (key == "fault") {
@@ -417,6 +479,11 @@ class Parser
                 validateRouter(item);
                 out_.routers.push_back(item);
             }
+        } else if (key == "scheduler") {
+            for (const std::string &item : splitList(value)) {
+                validateConnScheduler(item);
+                out_.schedulers.push_back(item);
+            }
         } else if (key == "nodes") {
             for (const std::string &item : splitList(value)) {
                 const std::uint64_t n = parseUint(item);
@@ -434,7 +501,7 @@ class Parser
         } else {
             die("unknown [sweep] key '" + key +
                 "' (expected load, rps, workload, policy, arrival, "
-                "router, nodes, or threads)");
+                "router, scheduler, nodes, or threads)");
         }
     }
 
@@ -456,6 +523,7 @@ class Parser
     Scenario &out_;
     std::string section_;
     int line_ = 0;
+    bool connSectionSeen_ = false;
 };
 
 Scenario
@@ -505,6 +573,8 @@ expandMatrix(const Scenario &scn)
     const auto &ps = scn.policies.empty() ? one_default : scn.policies;
     const auto &as = scn.arrivals.empty() ? one_default : scn.arrivals;
     const auto &rs = scn.routers.empty() ? one_default : scn.routers;
+    const auto &ss =
+        scn.schedulers.empty() ? one_default : scn.schedulers;
     const std::vector<std::uint32_t> node_default{0};
     const auto &ns =
         scn.nodeCounts.empty() ? node_default : scn.nodeCounts;
@@ -514,7 +584,7 @@ expandMatrix(const Scenario &scn)
 
     std::vector<ScenarioPoint> points;
     points.reserve(ws.size() * ps.size() * as.size() * rs.size() *
-                   ns.size() * loads.size());
+                   ss.size() * ns.size() * loads.size());
     for (const std::string &w : ws) {
         // Capacity depends only on system + workload; resolve once
         // per workload axis value.
@@ -527,40 +597,54 @@ expandMatrix(const Scenario &scn)
         for (const std::string &p : ps) {
             for (const std::string &a : as) {
                 for (const std::string &r : rs) {
-                    for (const std::uint32_t n : ns) {
-                        for (const double l : loads) {
-                            ScenarioPoint pt;
-                            pt.index = points.size();
-                            pt.config = scn.base;
-                            if (!w.empty())
-                                pt.config.workload =
-                                    app::WorkloadSpec(w);
-                            if (!p.empty())
-                                pt.config.system.policy =
-                                    ni::PolicySpec(p);
-                            if (!a.empty())
-                                pt.config.arrival =
-                                    net::ArrivalSpec(a);
-                            if (!r.empty())
-                                pt.config.cluster.router =
-                                    cluster::RouterSpec(r);
-                            if (n != 0)
-                                pt.config.cluster.numServerNodes = n;
-                            const std::uint32_t eff_nodes =
-                                pt.config.cluster.numServerNodes;
-                            pt.config.arrivalRps =
-                                fractional ? l * capacity * eff_nodes
-                                           : l;
-                            pt.workload =
-                                pt.config.workload.toString();
-                            pt.policy =
-                                pt.config.system.policy.toString();
-                            pt.arrival = pt.config.arrival.toString();
-                            pt.router =
-                                pt.config.cluster.router.toString();
-                            pt.nodes = eff_nodes;
-                            pt.loadFraction = fractional ? l : 0.0;
-                            points.push_back(std::move(pt));
+                    for (const std::string &s : ss) {
+                        for (const std::uint32_t n : ns) {
+                            for (const double l : loads) {
+                                ScenarioPoint pt;
+                                pt.index = points.size();
+                                pt.config = scn.base;
+                                if (!w.empty())
+                                    pt.config.workload =
+                                        app::WorkloadSpec(w);
+                                if (!p.empty())
+                                    pt.config.system.policy =
+                                        ni::PolicySpec(p);
+                                if (!a.empty())
+                                    pt.config.arrival =
+                                        net::ArrivalSpec(a);
+                                if (!r.empty())
+                                    pt.config.cluster.router =
+                                        cluster::RouterSpec(r);
+                                if (!s.empty())
+                                    pt.config.connections.scheduler =
+                                        conn::ConnSpec(s);
+                                if (n != 0)
+                                    pt.config.cluster.numServerNodes =
+                                        n;
+                                const std::uint32_t eff_nodes =
+                                    pt.config.cluster.numServerNodes;
+                                pt.config.arrivalRps =
+                                    fractional
+                                        ? l * capacity * eff_nodes
+                                        : l;
+                                pt.workload =
+                                    pt.config.workload.toString();
+                                pt.policy =
+                                    pt.config.system.policy.toString();
+                                pt.arrival =
+                                    pt.config.arrival.toString();
+                                pt.router = pt.config.cluster.router
+                                                .toString();
+                                pt.scheduler =
+                                    pt.config.connections.active()
+                                        ? pt.config.connections
+                                              .schedulerSpec()
+                                              .toString()
+                                        : std::string();
+                                pt.nodes = eff_nodes;
+                                pt.loadFraction = fractional ? l : 0.0;
+                                points.push_back(std::move(pt));
+                            }
                         }
                     }
                 }

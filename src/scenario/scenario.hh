@@ -26,9 +26,19 @@
  *   router   = shard
  *   timeout  = 50us
  *
+ *   [connections]
+ *   clients  = 2048                  # logical clients (enables the
+ *                                    # connection-management subsystem)
+ *   scheduler = grouped:size=40,slice=100us
+ *   qp_capacity = 64                 # server QP cache (0 = derive)
+ *   qp_cold  = 1us                   # cold-QP fetch penalty
+ *
  *   [sweep]
  *   load     = 0.2 | 0.5 | 0.8       # fraction of estimated capacity
  *   policy   = greedy | jbsq:d=2     # any axis may be a '|' list
+ *   scheduler = all | grouped:size=40,slice=100us
+ *                                    # conn-scheduler axis; needs an
+ *                                    # active [connections] population
  *
  *   [slo]
  *   tier0    = 15us                  # p99 bound per request class
@@ -39,7 +49,7 @@
  * Lists use '|' (NOT ',') as the separator, because component spec
  * strings carry commas ("mix:get=0.9,scan=0.1"). The matrix is the
  * cross product of every axis in canonical order: workload x policy x
- * arrival x router x nodes x load. The per-point seed is NOT
+ * arrival x router x scheduler x nodes x load. The per-point seed is NOT
  * decorrelated across the matrix, so a single-point scenario is
  * bit-identical to the equivalent hand-built ExperimentConfig.
  *
@@ -86,6 +96,9 @@ struct Scenario
     std::vector<std::string> policies;
     std::vector<std::string> arrivals;
     std::vector<std::string> routers;
+    /** Connection-scheduler axis ("all" | "grouped:..."); requires an
+     *  active [connections] client population. */
+    std::vector<std::string> schedulers;
     std::vector<std::uint32_t> nodeCounts;
 
     /** Load axis: fractions of estimated capacity (exclusive with
@@ -119,6 +132,8 @@ struct ScenarioPoint
     std::string policy;
     std::string arrival;
     std::string router;
+    /** Connection-scheduler spec ("" when the subsystem is off). */
+    std::string scheduler;
     std::uint32_t nodes = 1;
     /** Load fraction behind config.arrivalRps (0 = absolute rps). */
     double loadFraction = 0.0;
@@ -133,7 +148,8 @@ Scenario parseScenarioText(const std::string &text,
 
 /**
  * Expand the sweep matrix in canonical order (workload x policy x
- * arrival x router x nodes x load, load innermost). Fractional load
+ * arrival x router x scheduler x nodes x load, load innermost).
+ * Fractional load
  * points resolve against core::estimateCapacityRps for the point's
  * workload, scaled by its node count.
  */

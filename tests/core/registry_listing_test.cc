@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests of the --list-specs registry listing: every self-registering
+ * axis appears in canonical order with its built-in names, so a new
+ * registry (or a renamed builtin) cannot land without showing up in
+ * the user-facing discovery surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/registry_listing.hh"
+
+namespace {
+
+using namespace rpcvalet;
+
+bool
+axisContains(const core::RegistryAxis &axis, const std::string &name)
+{
+    return std::find(axis.names.begin(), axis.names.end(), name) !=
+           axis.names.end();
+}
+
+TEST(RegistryListing, AllSixAxesInCanonicalOrder)
+{
+    const std::vector<core::RegistryAxis> axes = core::listRegistries();
+    ASSERT_EQ(axes.size(), 6u);
+    EXPECT_EQ(axes[0].axis, "policy");
+    EXPECT_EQ(axes[1].axis, "arrival");
+    EXPECT_EQ(axes[2].axis, "workload");
+    EXPECT_EQ(axes[3].axis, "router");
+    EXPECT_EQ(axes[4].axis, "fault");
+    EXPECT_EQ(axes[5].axis, "conn");
+    for (const core::RegistryAxis &axis : axes) {
+        EXPECT_FALSE(axis.names.empty()) << axis.axis;
+        EXPECT_TRUE(
+            std::is_sorted(axis.names.begin(), axis.names.end()))
+            << axis.axis;
+    }
+}
+
+TEST(RegistryListing, KnownBuiltinsAreListed)
+{
+    const std::vector<core::RegistryAxis> axes = core::listRegistries();
+    ASSERT_EQ(axes.size(), 6u);
+    EXPECT_TRUE(axisContains(axes[0], "greedy"));
+    EXPECT_TRUE(axisContains(axes[0], "jbsq"));
+    EXPECT_TRUE(axisContains(axes[1], "poisson"));
+    EXPECT_TRUE(axisContains(axes[2], "herd"));
+    EXPECT_TRUE(axisContains(axes[3], "direct"));
+    EXPECT_TRUE(axisContains(axes[3], "shard"));
+    EXPECT_TRUE(axisContains(axes[4], "crash"));
+    EXPECT_TRUE(axisContains(axes[4], "packet-loss"));
+    EXPECT_TRUE(axisContains(axes[5], "all"));
+    EXPECT_TRUE(axisContains(axes[5], "grouped"));
+}
+
+TEST(RegistryListing, FormattedTextHasOneLinePerAxis)
+{
+    const std::string text = core::formatRegistryListing();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+    EXPECT_NE(text.find("policy: "), std::string::npos);
+    EXPECT_NE(text.find("conn: "), std::string::npos);
+    // The conn line carries both builtins.
+    const std::string connLine =
+        text.substr(text.find("conn: "));
+    EXPECT_NE(connLine.find("all"), std::string::npos);
+    EXPECT_NE(connLine.find("grouped"), std::string::npos);
+}
+
+} // namespace

@@ -57,6 +57,28 @@ TEST(Fifo, HighWatermarkTracksPeakOccupancy)
     EXPECT_EQ(f.highWatermark(), 3u);
 }
 
+TEST(Fifo, ResetHighWatermarkRestartsFromCurrentOccupancy)
+{
+    Fifo<int> f;
+    for (int i = 0; i < 5; ++i)
+        f.push(i);
+    for (int i = 0; i < 4; ++i)
+        f.pop();
+    EXPECT_EQ(f.highWatermark(), 5u);
+    // The recording-window opener drops the warmup transient: tracking
+    // restarts at the surviving occupancy, not at zero.
+    f.resetHighWatermark();
+    EXPECT_EQ(f.highWatermark(), 1u);
+    f.push(5);
+    f.push(6);
+    EXPECT_EQ(f.highWatermark(), 3u);
+    f.pop();
+    f.pop();
+    f.pop();
+    f.resetHighWatermark();
+    EXPECT_EQ(f.highWatermark(), 0u);
+}
+
 TEST(Fifo, MoveOnlyPayloadsSupported)
 {
     Fifo<std::unique_ptr<int>> f;

@@ -255,6 +255,114 @@ TEST(ScenarioParseDeath, LoadAxisIsMandatoryAndExclusive)
                 "declares both 'load' and 'rps'");
 }
 
+// ----- [connections] section -----
+
+TEST(ScenarioParse, ConnectionsSectionPopulatesConnConfig)
+{
+    const scenario::Scenario scn = scenario::parseScenarioText(
+        "[connections]\n"
+        "nodes       = 400\n"
+        "clients     = 2048\n"
+        "scheduler   = grouped:size=40,slice=100us\n"
+        "qp_capacity = 64\n"
+        "qp_cold     = 800ns\n"
+        "[sweep]\n"
+        "load = 0.5\n",
+        "conn.scn");
+
+    EXPECT_EQ(scn.base.system.domain.numNodes, 400u);
+    ASSERT_TRUE(scn.base.connections.active());
+    EXPECT_EQ(scn.base.connections.numClients, 2048u);
+    EXPECT_EQ(scn.base.connections.scheduler.toString(),
+              "grouped:size=40,slice=100us");
+    EXPECT_EQ(scn.base.connections.qpCapacity, 64u);
+    EXPECT_DOUBLE_EQ(scn.base.connections.qpColdNs, 800.0);
+}
+
+TEST(ScenarioParseDeath, BadConnectionsKeysDieWithFileAndLine)
+{
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[connections]\nclient = 2048\n", "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "bad\\.scn:2 \\(client = 2048\\).*unknown "
+                "\\[connections\\] key 'client'");
+    // Scheduler specs resolve through the conn registry at parse time,
+    // with the file:line (key = value) frame prefixed.
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[connections]\nscheduler = groupde\n", "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "bad\\.scn:2 \\(scheduler = groupde\\).*unknown conn "
+                "scheduler 'groupde'");
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[connections]\nscheduler = grouped:size=0\n",
+                    "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "bad\\.scn:2 \\(scheduler = grouped:size=0\\).*size "
+                "must be >= 1");
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[connections]\nnodes = 1\n", "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "'nodes' must be in \\[2, 100000\\]");
+}
+
+TEST(ScenarioExpand, SchedulerAxisOverridesConnScheduler)
+{
+    const scenario::Scenario scn = scenario::parseScenarioText(
+        "[connections]\n"
+        "clients   = 1024\n"
+        "qp_capacity = 64\n"
+        "[sweep]\n"
+        "scheduler = all | grouped:size=40,slice=100us\n"
+        "load      = 0.5\n",
+        "conn.scn");
+    ASSERT_EQ(scn.schedulers.size(), 2u);
+    const std::vector<scenario::ScenarioPoint> points =
+        scenario::expandMatrix(scn);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].scheduler, "all");
+    EXPECT_EQ(points[0].config.connections.schedulerSpec().toString(),
+              "all");
+    EXPECT_EQ(points[1].scheduler, "grouped:size=40,slice=100us");
+    EXPECT_EQ(points[1].config.connections.scheduler.toString(),
+              "grouped:size=40,slice=100us");
+    // Both points keep the shared population.
+    EXPECT_EQ(points[0].config.connections.numClients, 1024u);
+    EXPECT_EQ(points[1].config.connections.numClients, 1024u);
+}
+
+TEST(ScenarioParseDeath, SchedulerAxisWithoutPopulationIsFatal)
+{
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[sweep]\nscheduler = all | grouped\n"
+                    "load = 0.5\n",
+                    "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "'scheduler' axis needs an active \\[connections\\] "
+                "section");
+    // Axis values resolve through the conn registry at parse time.
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[connections]\nclients = 64\n"
+                    "[sweep]\nscheduler = grouped:slice=0\n"
+                    "load = 0.5\n",
+                    "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "bad\\.scn:4 \\(scheduler = grouped:slice=0\\).*slice "
+                "must be > 0");
+}
+
+TEST(ScenarioParseDeath, ConnectionsSectionWithoutClientsIsFatal)
+{
+    // A scheduler/qp tweak with no population would silently run the
+    // legacy path; finish() catches it.
+    EXPECT_EXIT((void)scenario::parseScenarioText(
+                    "[connections]\nqp_capacity = 64\n"
+                    "[sweep]\nload = 0.5\n",
+                    "bad.scn"),
+                ::testing::ExitedWithCode(1),
+                "bad\\.scn: \\[connections\\] section without a "
+                "'clients = N' key");
+}
+
 // ----- matrix expansion -----
 
 TEST(ScenarioExpand, CanonicalOrderLoadInnermost)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Diff two Prometheus text-exposition files sample by sample.
+
+CI's conn-smoke job runs a scenario twice and feeds both metrics.prom
+files through this script: any sample present in one run but not the
+other, or carrying a different value, is a determinism regression (the
+simulator guarantees bit-identical results for identical configs).
+More generally, diffing a PR's scenario artifact against main's turns
+the accumulated perf-trajectory artifacts into an alert.
+
+Usage:
+    prom_diff.py A.prom B.prom [--tolerance REL] [--warn-only]
+
+With --tolerance 0 (default) values must match textually or parse to
+exactly equal floats. A nonzero relative tolerance turns the script
+into a perf-drift checker instead of a determinism checker. With
+--warn-only, differences are reported but the exit code stays 0.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import sys
+
+
+def parse_samples(path):
+    """Return {(metric, labels): value-string} for one exposition file."""
+    samples = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            # "name{labels} value" or "name value"; labels may contain
+            # spaces inside quoted values, so split on the last space.
+            key, _, value = line.rpartition(" ")
+            if not key:
+                sys.exit(f"{path}:{lineno}: malformed sample: {line}")
+            if key in samples:
+                sys.exit(f"{path}:{lineno}: duplicate sample: {key}")
+            samples[key] = value
+    return samples
+
+
+def values_differ(a, b, tolerance):
+    if a == b:
+        return False
+    try:
+        fa, fb = float(a), float(b)
+    except ValueError:
+        return True
+    if fa == fb:
+        return False
+    if tolerance <= 0.0:
+        return True
+    scale = max(abs(fa), abs(fb))
+    return abs(fa - fb) > tolerance * scale
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two Prometheus text-exposition files.")
+    ap.add_argument("a", help="first metrics file")
+    ap.add_argument("b", help="second metrics file")
+    ap.add_argument("--tolerance", type=float, default=0.0,
+                    help="relative value tolerance (default 0: exact)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report differences but exit 0")
+    args = ap.parse_args()
+
+    sa = parse_samples(args.a)
+    sb = parse_samples(args.b)
+
+    diffs = []
+    for key in sorted(sa.keys() - sb.keys()):
+        diffs.append(f"only in {args.a}: {key} {sa[key]}")
+    for key in sorted(sb.keys() - sa.keys()):
+        diffs.append(f"only in {args.b}: {key} {sb[key]}")
+    for key in sorted(sa.keys() & sb.keys()):
+        if values_differ(sa[key], sb[key], args.tolerance):
+            diffs.append(f"value differs: {key}: "
+                         f"{sa[key]} != {sb[key]}")
+
+    for d in diffs:
+        print(d)
+    if not diffs:
+        print(f"identical: {len(sa)} samples"
+              + (f" (tolerance {args.tolerance})"
+                 if args.tolerance > 0 else ""))
+        return 0
+    print(f"{len(diffs)} difference(s) across "
+          f"{len(set(sa) | set(sb))} samples",
+          file=sys.stderr)
+    return 0 if args.warn_only else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

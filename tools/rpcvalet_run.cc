@@ -19,6 +19,9 @@
  *                  fault timeline ([chaos] faults + legacy fail_node)
  *   --quiet        suppress the per-point progress table
  *   --strict-slo   exit 1 when any declared SLO is unmet
+ *   --list-specs   print every registered component name across all
+ *                  six spec registries (policy, arrival, workload,
+ *                  router, fault, conn) and exit
  *   --version      print build provenance and exit
  *
  * Exit status: 0 on success, 1 on usage errors or (with --strict-slo)
@@ -31,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/registry_listing.hh"
 #include "fault/fault.hh"
 #include "scenario/runner.hh"
 #include "scenario/scenario.hh"
@@ -55,6 +59,8 @@ usage(std::FILE *f)
         "fault timeline\n"
         "  --quiet        suppress the per-point progress table\n"
         "  --strict-slo   exit 1 when any declared SLO is unmet\n"
+        "  --list-specs   print every registered component name and "
+        "exit\n"
         "  --version      print build provenance and exit\n",
         f);
 }
@@ -79,6 +85,9 @@ parseArgs(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             usage(stdout);
+            std::exit(0);
+        } else if (arg == "--list-specs") {
+            std::fputs(core::formatRegistryListing().c_str(), stdout);
             std::exit(0);
         } else if (arg == "--version") {
             const sim::BuildInfo &bi = sim::buildInfo();
